@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark suite.
+
+Programs are compiled once per session at the paper-scale configuration;
+individual benchmarks then time the phase they are about (allocation,
+simulation, ...) without re-measuring the front end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.liw.machine import MachineConfig
+from repro.pipeline import compile_for_paper
+from repro.programs import all_programs
+
+#: unroll factor for benchmarked compilations — 2 keeps every benchmark
+#: comfortably under a second while preserving the paper's shape; the
+#: EXPERIMENTS.md report uses 4.
+BENCH_UNROLL = 2
+
+
+@pytest.fixture(scope="session")
+def paper_machine() -> MachineConfig:
+    return MachineConfig(num_fus=4, num_modules=8)
+
+
+@pytest.fixture(scope="session")
+def compiled_programs(paper_machine):
+    """name -> (spec, CompiledProgram) at the benchmark configuration."""
+    return {
+        spec.name: (
+            spec,
+            compile_for_paper(spec.source, paper_machine, unroll=BENCH_UNROLL),
+        )
+        for spec in all_programs()
+    }
+
+
+@pytest.fixture(scope="session")
+def compiled_programs_k4():
+    machine = MachineConfig(num_fus=4, num_modules=4)
+    return {
+        spec.name: (
+            spec,
+            compile_for_paper(spec.source, machine, unroll=BENCH_UNROLL),
+        )
+        for spec in all_programs()
+    }

@@ -1,0 +1,44 @@
+"""Benchmark: the paper's worked figures (Figs. 1, 3, 5, 8)."""
+
+from repro.analysis.figures import (
+    reproduce_fig1,
+    reproduce_fig3,
+    reproduce_fig5,
+    reproduce_fig8,
+)
+
+
+def test_fig1(benchmark):
+    result = benchmark(reproduce_fig1)
+    assert result.base_conflict_free
+    assert result.extra1_copies == 1
+    assert result.extra2_copies == 2
+    benchmark.extra_info["extra_copies"] = (
+        result.extra1_copies,
+        result.extra2_copies,
+    )
+
+
+def test_fig3(benchmark):
+    result = benchmark.pedantic(reproduce_fig3, rounds=1, iterations=1)
+    assert result.spread >= 1
+    worse = result.copies_by_removal[frozenset({4, 5})]
+    better = result.copies_by_removal[frozenset({2, 5})]
+    assert better < worse
+    benchmark.extra_info["copies_by_removal"] = {
+        "V4,V5": worse,
+        "V2,V5": better,
+    }
+
+
+def test_fig5(benchmark):
+    result = benchmark(reproduce_fig5)
+    assert sorted(result.colored) == [1, 2, 3, 4]
+    assert result.removed == [5]
+
+
+def test_fig8(benchmark):
+    result = benchmark(reproduce_fig8)
+    assert result.v4_copies == 3
+    assert result.conflict_free
+    benchmark.extra_info["v4_copies"] = result.v4_copies

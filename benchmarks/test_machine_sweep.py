@@ -1,0 +1,73 @@
+"""Benchmark: machine-configuration sweep (the reconfigurable in RLIW).
+
+The paper's machine (Gupta & Soffa's RLIW, ref [9]) reconfigures its
+functional units and memory; this sweep charts how execution time and
+conflict behaviour move with the number of FUs and memory modules,
+confirming the architectural premises: more modules -> fewer forced
+conflicts; more FUs -> shorter schedules until the memory ports saturate.
+"""
+
+import pytest
+
+from repro.core.strategies import stor1
+from repro.liw.machine import MachineConfig
+from repro.pipeline import compile_for_paper, simulate
+from repro.programs import get_program
+
+
+def run_config(spec, fus, modules, unroll=2):
+    prog = compile_for_paper(
+        spec.source, MachineConfig(num_fus=fus, num_modules=modules),
+        unroll=unroll,
+    )
+    storage = stor1(prog.schedule, prog.renamed)
+    result = simulate(prog, storage.allocation, list(spec.inputs))
+    return prog, storage, result
+
+
+@pytest.mark.parametrize("modules", [1, 2, 4, 8])
+def test_sweep_modules(benchmark, modules):
+    spec = get_program("FFT")
+    prog, storage, result = benchmark.pedantic(
+        lambda: run_config(spec, 4, modules), rounds=1, iterations=1
+    )
+    benchmark.extra_info["total_time"] = round(result.total_time)
+    benchmark.extra_info["duplicated"] = len(
+        storage.allocation.multi_copy_values()
+    )
+    assert result.outputs  # executed to completion
+
+
+@pytest.mark.parametrize("fus", [1, 2, 4, 8])
+def test_sweep_fus(benchmark, fus):
+    spec = get_program("TAYLOR2")
+    prog, storage, result = benchmark.pedantic(
+        lambda: run_config(spec, fus, 8), rounds=1, iterations=1
+    )
+    benchmark.extra_info["cycles"] = result.cycles
+    assert result.outputs
+
+
+def test_more_modules_never_slower(benchmark):
+    """Widening the memory system must not increase total time."""
+    spec = get_program("SORT")
+
+    def sweep():
+        return {
+            k: run_config(spec, 4, k)[2].total_time for k in (1, 2, 4, 8)
+        }
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"k{k}": round(t) for k, t in times.items()})
+    assert times[8] <= times[1] * 1.02  # allow scheduling noise
+
+
+def test_more_fus_never_slower_cycles(benchmark):
+    spec = get_program("EXACT")
+
+    def sweep():
+        return {f: run_config(spec, f, 8)[2].cycles for f in (1, 2, 4)}
+
+    cycles = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"fu{f}": c for f, c in cycles.items()})
+    assert cycles[4] <= cycles[1]

@@ -1,0 +1,58 @@
+"""Benchmark: regenerating paper Table 2 (array-access conflicts).
+
+Each benchmark executes one program on the LIW machine with the memory
+simulator attached and reports t_ave/t_min and t_max/t_min, for k=8 and
+k=4 as in the paper.
+"""
+
+import pytest
+
+from repro.core.strategies import stor1
+from repro.pipeline import simulate
+from repro.programs import program_names
+
+
+def _run_cell(spec, prog):
+    storage = stor1(prog.schedule, prog.renamed)
+    result = simulate(prog, storage.allocation, list(spec.inputs))
+    return result.memory
+
+
+@pytest.mark.parametrize("name", program_names())
+def test_table2_k8(benchmark, compiled_programs, name):
+    spec, prog = compiled_programs[name]
+    mem = benchmark.pedantic(
+        lambda: _run_cell(spec, prog), rounds=1, iterations=1
+    )
+    benchmark.extra_info["ave_ratio"] = round(mem.ave_ratio, 3)
+    benchmark.extra_info["max_ratio"] = round(mem.max_ratio, 3)
+    # Paper Table 2 ranges: t_ave/t_min within a few tens of percent,
+    # t_max/t_min below ~1.5.
+    assert 1.0 <= mem.ave_ratio <= mem.max_ratio <= 2.0
+
+
+@pytest.mark.parametrize("name", program_names())
+def test_table2_k4(benchmark, compiled_programs_k4, name):
+    spec, prog = compiled_programs_k4[name]
+    mem = benchmark.pedantic(
+        lambda: _run_cell(spec, prog), rounds=1, iterations=1
+    )
+    benchmark.extra_info["ave_ratio"] = round(mem.ave_ratio, 3)
+    benchmark.extra_info["max_ratio"] = round(mem.max_ratio, 3)
+    assert 1.0 <= mem.ave_ratio <= mem.max_ratio <= 2.0
+
+
+@pytest.mark.parametrize("name", ["SORT", "FFT"])
+def test_table2_tmax_band_shrinks_with_fewer_modules(
+    benchmark, compiled_programs, compiled_programs_k4, name
+):
+    """Paper Table 2: t_max/t_min is smaller at k=4 than at k=8 (fewer
+    modules means the no-conflict baseline is already slower)."""
+    spec8, prog8 = compiled_programs[name]
+    spec4, prog4 = compiled_programs_k4[name]
+
+    def cells():
+        return _run_cell(spec8, prog8), _run_cell(spec4, prog4)
+
+    mem8, mem4 = benchmark.pedantic(cells, rounds=1, iterations=1)
+    assert mem4.max_ratio <= mem8.max_ratio + 0.05

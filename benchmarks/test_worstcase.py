@@ -1,0 +1,73 @@
+"""Benchmark: worst-case claims — heuristic-vs-optimal gaps.
+
+Paper claims: the colouring heuristic can be (n-k)/2 times worse than
+optimal; the hitting-set heuristic is H_m-approximate.  We measure the
+gaps on adversarial and random instances against the exact algorithms.
+"""
+
+import pytest
+
+from repro.analysis.worstcase import (
+    coloring_gap_crown,
+    hitting_set_gap_adversary,
+    hitting_set_gap_random,
+    worst_coloring_gap_random,
+)
+
+
+def test_coloring_gap_random_search(benchmark):
+    gap = benchmark.pedantic(
+        lambda: worst_coloring_gap_random(trials=30, n=9, k=3),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["heuristic_removed"] = gap.heuristic_removed
+    benchmark.extra_info["optimal_removed"] = gap.optimal_removed
+    assert gap.heuristic_removed >= gap.optimal_removed
+    # The paper's bound: the ratio never exceeds (n - k) / 2.
+    if gap.optimal_removed:
+        assert gap.ratio <= (gap.n - gap.k) / 2
+
+
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_coloring_crown_graphs(benchmark, n):
+    gap = benchmark(lambda: coloring_gap_crown(n))
+    benchmark.extra_info["removed"] = gap.heuristic_removed
+    assert gap.optimal_removed == 0
+
+
+@pytest.mark.parametrize("m", [3, 6, 9])
+def test_hitting_set_adversary(benchmark, m):
+    gap = benchmark(lambda: hitting_set_gap_adversary(m))
+    benchmark.extra_info["paper"] = gap.paper_size
+    benchmark.extra_info["optimal"] = gap.optimal_size
+    assert gap.paper_ratio <= gap.h_m_bound + 1e-9
+
+
+def test_hitting_set_random_instances(benchmark):
+    def sweep():
+        worst = 1.0
+        for seed in range(20):
+            gap = hitting_set_gap_random(14, 10, 3, seed)
+            if gap.optimal_size:
+                worst = max(worst, gap.paper_size / gap.optimal_size)
+        return worst
+
+    worst = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["worst_ratio"] = round(worst, 3)
+    assert worst < 3.0  # far inside H_m for these sizes
+
+
+def test_hitting_set_worst_random_gap(benchmark):
+    """Random search exhibits genuine Fig. 9 suboptimality (while the
+    ratio stays within H_m)."""
+    from repro.analysis.worstcase import worst_hitting_gap_random
+
+    gap = benchmark.pedantic(
+        lambda: worst_hitting_gap_random(trials=150), rounds=1, iterations=1
+    )
+    benchmark.extra_info["paper"] = gap.paper_size
+    benchmark.extra_info["optimal"] = gap.optimal_size
+    benchmark.extra_info["ratio"] = round(gap.paper_ratio, 3)
+    assert gap.paper_ratio >= 1.0
+    assert gap.paper_ratio <= gap.h_m_bound + 1e-9

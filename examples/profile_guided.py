@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Profile-guided storage assignment — the paper's closing idea.
+
+The last paragraphs of the paper suggest using "information on access
+frequency of shared data items" to steer the distribution.  Two
+demonstrations:
+
+1. a core-level instance where three non-duplicable values form a
+   conflict triangle on a two-module memory — one conflict is
+   unavoidable, and only the frequency-weighted allocator sacrifices
+   the *cold* one;
+2. the six paper benchmarks on a k = 4 machine, comparing dynamic
+   transfer stalls under static vs profiled allocation.
+
+Run:  python examples/profile_guided.py
+"""
+
+from repro import MachineConfig, compile_source
+from repro.core import assign_modules, instruction_conflict_free
+from repro.core.profiled import compare_static_vs_profiled
+from repro.programs import all_programs
+
+# Three pinned (non-duplicable) values on two modules, forming a
+# conflict triangle: the X-Y conflict sits in a hot loop body (runs
+# 64x), the Z edges in cold straight-line code.  Statically the cold
+# edges look *heavier* (more instructions), so the unweighted allocator
+# sacrifices the hot pair; execution frequencies flip the choice.
+Z, X, Y = 0, 1, 2
+SETS = [{X, Y}, {Z, X}, {Z, X}, {Z, Y}, {Z, Y}]
+FREQUENCIES = [64, 1, 1, 1, 1]
+
+
+def describe(alloc, label):
+    hot_ok = instruction_conflict_free({X, Y}, alloc)
+    stalls = sum(
+        w
+        for s, w in zip(SETS, FREQUENCIES)
+        if not instruction_conflict_free(s, alloc)
+    )
+    print(
+        f"{label:9s} hot conflict avoided: {hot_ok!s:5s}  "
+        f"dynamic stall cycles: {stalls}"
+    )
+    return stalls
+
+
+def main() -> None:
+    print("Core-level triangle (k=2, nothing duplicable):")
+    static = assign_modules(
+        SETS, 2, duplicable=set(), all_values=[X, Y, Z], seed=0
+    )
+    profiled = assign_modules(
+        SETS, 2, duplicable=set(), all_values=[X, Y, Z],
+        weights=FREQUENCIES, seed=0,
+    )
+    s_static = describe(static.allocation, "static")
+    s_profiled = describe(profiled.allocation, "profiled")
+    assert s_profiled <= s_static
+    print(
+        "\nStatically the cold edges dominate the counts, so the"
+        "\nunweighted allocator breaks the hot pair (64 stall cycles);"
+        "\nweighting conf(u,v) by execution frequency protects it"
+        "\n(2 stall cycles).\n"
+    )
+
+    print("Across the six paper benchmarks (k = 4):")
+    for spec in all_programs():
+        prog = compile_source(
+            spec.source,
+            MachineConfig(num_fus=4, num_modules=4),
+            unroll=2,
+            constants_in_memory=True,
+        )
+        cmp = compare_static_vs_profiled(prog, list(spec.inputs))
+        print(
+            f"  {spec.name:8s} stalls {cmp.static_stalls:7.0f} -> "
+            f"{cmp.profiled_stalls:7.0f}  ({cmp.stall_reduction:+.1%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

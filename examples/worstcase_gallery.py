@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Heuristics vs exact optima: a gallery of gaps and bounds.
+
+The paper proves its colouring heuristic can remove (n-k)/2 times more
+nodes than optimal, and its hitting-set heuristic is H_m-approximate.
+This script hunts for gaps on random instances and replays the paper's
+Fig. 3 lesson (minimum removals do not give minimum copies).
+
+Run:  python examples/worstcase_gallery.py
+"""
+
+from repro.analysis.figures import reproduce_fig3
+from repro.analysis.worstcase import (
+    coloring_gap_random,
+    h_m,
+    hitting_set_gap_adversary,
+)
+
+
+def main() -> None:
+    print("== Colouring: Fig. 4 heuristic vs exact minimum removal ==")
+    print(f"{'instance':18s} {'heuristic':>9s} {'optimal':>8s}")
+    interesting = 0
+    for seed in range(60):
+        gap = coloring_gap_random(n=9, k=3, edge_prob=0.55, seed=seed)
+        if gap.heuristic_removed > gap.optimal_removed:
+            interesting += 1
+            print(
+                f"{gap.instance:18s} {gap.heuristic_removed:9d}"
+                f" {gap.optimal_removed:8d}"
+            )
+        if interesting >= 5:
+            break
+    print("(paper bound: ratio can reach (n-k)/2 = 3.0 on 9 nodes, k=3)\n")
+
+    print("== Hitting set: Fig. 9 heuristic vs optimal, H_m bound ==")
+    print(f"{'m':>3s} {'paper':>6s} {'greedy':>7s} {'optimal':>8s} {'H_m':>6s}")
+    for m in (3, 5, 8, 12):
+        gap = hitting_set_gap_adversary(m)
+        print(
+            f"{m:3d} {gap.paper_size:6d} {gap.greedy_size:7d}"
+            f" {gap.optimal_size:8d} {gap.h_m_bound:6.2f}"
+        )
+    print(f"(H_m = 1 + 1/2 + ... + 1/m; e.g. H_5 = {h_m(5):.3f})\n")
+
+    print("== Fig. 3: minimum removals != minimum copies ==")
+    fig3 = reproduce_fig3()
+    for removed, copies in sorted(
+        fig3.copies_by_removal.items(), key=lambda kv: (kv[1], sorted(kv[0]))
+    ):
+        names = ", ".join(f"V{v}" for v in sorted(removed))
+        print(f"  remove {{{names}}} -> {copies} extra copies")
+    print(
+        "\nEvery option removes two nodes, but the copy bill differs —"
+        "\nexactly the sub-optimality the paper demonstrates in Fig. 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

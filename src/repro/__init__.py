@@ -1,0 +1,70 @@
+"""Reproduction of Gupta & Soffa, *Compile-time Techniques for Efficient
+Utilization of Parallel Memories* (PPoPP 1988).
+
+Subpackages
+-----------
+``repro.lang``
+    Front end for the mini source language.
+``repro.ir``
+    TAC, control-flow graph, dataflow, renaming into data values.
+``repro.liw``
+    Long-instruction-word machine model, list scheduler, executor.
+``repro.core``
+    The paper's contribution: conflict graph, atom decomposition,
+    colouring heuristic, duplication (backtracking / hitting set),
+    placement, and the STOR1/2/3 strategies.
+``repro.memsim``
+    Parallel-memory simulator and the Δ-model timing measures.
+``repro.programs``
+    The paper's six benchmark programs, rewritten in the mini language.
+``repro.analysis``
+    Experiment harness regenerating every table and figure.
+
+Quick start
+-----------
+>>> from repro import compile_source, allocate_storage, simulate
+>>> prog = compile_source(SOURCE_TEXT)
+>>> storage = allocate_storage(prog, strategy="STOR1")
+>>> result = simulate(prog, storage.allocation)
+"""
+
+from .core import (
+    Allocation,
+    assign_modules,
+    run_strategy,
+    stor1,
+    stor2,
+    stor3,
+    stor_region,
+)
+from .liw.machine import PAPER_MACHINE, PAPER_MACHINE_K4, MachineConfig
+from .pipeline import (
+    CompiledProgram,
+    SimulationResult,
+    allocate_storage,
+    compile_for_paper,
+    compile_source,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "assign_modules",
+    "run_strategy",
+    "stor1",
+    "stor2",
+    "stor3",
+    "stor_region",
+    "MachineConfig",
+    "PAPER_MACHINE",
+    "PAPER_MACHINE_K4",
+    "CompiledProgram",
+    "SimulationResult",
+    "allocate_storage",
+    "compile_for_paper",
+    "compile_source",
+    "simulate",
+    "__version__",
+]

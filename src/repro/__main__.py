@@ -1,0 +1,172 @@
+"""Command-line compiler driver.
+
+Usage::
+
+    python -m repro compile PROGRAM.p [options]      # schedule + allocation
+    python -m repro run PROGRAM.p [--input V ...]    # execute + Δ report
+    python -m repro bench NAME                       # one paper benchmark
+    python -m repro report                           # all tables/figures
+
+``PROGRAM.p`` is mini-language source; ``NAME`` is one of the paper's
+six benchmarks (TAYLOR1, TAYLOR2, EXACT, FFT, SORT, COLOR).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.strategies import run_strategy
+from .liw.machine import MachineConfig
+from .pipeline import compile_source, simulate
+from .programs import get_program, program_names
+
+
+def _machine(args: argparse.Namespace) -> MachineConfig:
+    return MachineConfig(
+        num_fus=args.fus, num_modules=args.modules, delta=args.delta
+    )
+
+
+def _compile(args: argparse.Namespace, source: str):
+    return compile_source(
+        source,
+        _machine(args),
+        unroll=args.unroll,
+        constants_in_memory=args.memory_constants,
+    )
+
+
+def _parse_input_value(text: str) -> object:
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    source = Path(args.program).read_text()
+    program = _compile(args, source)
+    storage = run_strategy(
+        args.strategy, program.schedule, program.renamed, method=args.method
+    )
+    print(f"; {program.name}: {program.schedule.num_instructions} long "
+          f"instructions, {program.schedule.num_operations} operations")
+    if args.show_schedule:
+        print(program.schedule.pretty())
+    print(f"; storage ({args.strategy}, {args.method}): "
+          f"{storage.singles} single-copy, {storage.multiples} duplicated, "
+          f"{len(storage.residual_instructions)} residual conflicts")
+    if args.show_allocation:
+        print(storage.allocation.grid())
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = Path(args.program).read_text()
+    program = _compile(args, source)
+    storage = run_strategy(
+        args.strategy, program.schedule, program.renamed, method=args.method
+    )
+    inputs = [_parse_input_value(v) for v in args.input]
+    result = simulate(
+        program, storage.allocation, inputs, layout=args.layout,
+        delta=args.delta,
+    )
+    for value in result.outputs:
+        print(value)
+    mem = result.memory
+    print(
+        f"; cycles={result.cycles} stalls={mem.stall_time:.0f} "
+        f"t_ave/t_min={mem.ave_ratio:.3f} t_max/t_min={mem.max_ratio:.3f}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    spec = get_program(args.name)
+    program = _compile(args, spec.source)
+    storage = run_strategy(
+        args.strategy, program.schedule, program.renamed, method=args.method
+    )
+    result = simulate(
+        program, storage.allocation, list(spec.inputs), layout=args.layout
+    )
+    reference = spec.reference(spec.inputs) if spec.reference else None
+    ok = reference is None or len(result.outputs) == len(reference)
+    mem = result.memory
+    print(f"{spec.name}: {spec.description}")
+    print(f"  long instructions: {program.schedule.num_instructions}")
+    print(f"  storage: {storage.singles} single / {storage.multiples} dup")
+    print(f"  cycles: {result.cycles}  stalls: {mem.stall_time:.0f}")
+    print(f"  t_ave/t_min: {mem.ave_ratio:.3f}  t_max/t_min: {mem.max_ratio:.3f}")
+    print(f"  outputs: {len(result.outputs)} values "
+          f"({'match reference' if ok else 'MISMATCH'})")
+    return 0 if ok else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import full_report
+
+    print(full_report(unroll=args.unroll))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel-memory LIW compiler (Gupta & Soffa, PPoPP'88)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--fus", type=int, default=4, help="functional units")
+        p.add_argument("--modules", "-k", type=int, default=8,
+                       help="memory modules")
+        p.add_argument("--delta", type=float, default=1.0,
+                       help="Δ: one module transfer time")
+        p.add_argument("--unroll", type=int, default=1, help="unroll factor")
+        p.add_argument("--memory-constants", action="store_true",
+                       help="place large literals in data memory")
+        p.add_argument("--strategy", default="STOR1",
+                       choices=["STOR1", "STOR2", "STOR3"])
+        p.add_argument("--method", default="hitting_set",
+                       choices=["hitting_set", "backtrack"])
+        p.add_argument("--layout", default="interleaved",
+                       choices=["interleaved", "skewed", "per_array", "single"])
+
+    p_compile = sub.add_parser("compile", help="compile and allocate")
+    p_compile.add_argument("program")
+    p_compile.add_argument("--show-schedule", action="store_true")
+    p_compile.add_argument("--show-allocation", action="store_true")
+    common(p_compile)
+    p_compile.set_defaults(fn=cmd_compile)
+
+    p_run = sub.add_parser("run", help="compile, allocate, and execute")
+    p_run.add_argument("program")
+    p_run.add_argument("--input", "-i", action="append", default=[],
+                       help="input value (repeatable)")
+    common(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_bench = sub.add_parser("bench", help="run one paper benchmark")
+    p_bench.add_argument("name", choices=program_names())
+    common(p_bench)
+    p_bench.set_defaults(fn=cmd_bench)
+
+    p_report = sub.add_parser("report", help="regenerate every experiment")
+    p_report.add_argument("--unroll", type=int, default=4)
+    p_report.set_defaults(fn=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Experiment harness regenerating every table, figure, and claim."""
+
+from .figures import (
+    reproduce_fig1,
+    reproduce_fig3,
+    reproduce_fig5,
+    reproduce_fig8,
+)
+from .report import full_report
+from .speedup import SpeedupTable, generate_speedup, speedup_for_program
+from .table1 import Table1, generate_table1, table1_for_program
+from .table2 import Table2, generate_table2, table2_cell
+from .workloads import (
+    clustered_instructions,
+    crown_graph_instructions,
+    greedy_hitting_adversary,
+    random_instructions,
+)
+from .worstcase import (
+    ColoringGap,
+    HittingSetGap,
+    coloring_gap_crown,
+    coloring_gap_random,
+    h_m,
+    hitting_set_gap_adversary,
+    hitting_set_gap_random,
+    worst_coloring_gap_random,
+    worst_hitting_gap_random,
+)
+
+__all__ = [
+    "reproduce_fig1",
+    "reproduce_fig3",
+    "reproduce_fig5",
+    "reproduce_fig8",
+    "full_report",
+    "SpeedupTable",
+    "generate_speedup",
+    "speedup_for_program",
+    "Table1",
+    "generate_table1",
+    "table1_for_program",
+    "Table2",
+    "generate_table2",
+    "table2_cell",
+    "clustered_instructions",
+    "crown_graph_instructions",
+    "greedy_hitting_adversary",
+    "random_instructions",
+    "ColoringGap",
+    "HittingSetGap",
+    "coloring_gap_crown",
+    "coloring_gap_random",
+    "h_m",
+    "hitting_set_gap_adversary",
+    "hitting_set_gap_random",
+    "worst_coloring_gap_random",
+    "worst_hitting_gap_random",
+]

@@ -1,0 +1,93 @@
+"""Strategy experiments on synthetic operand-set streams.
+
+Table 1's mechanism — whole-program assignment beats phased assignment
+because later phases inherit colours chosen with partial information —
+depends on conflict density.  These helpers run STOR-style strategies
+directly on operand-set workloads (no compiler in the loop), so the
+density can be dialled and the divergence charted
+(`benchmarks/test_density_sweep.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.allocation import Allocation
+from ..core.assign import assign_modules
+from ..core.verify import conflicting_instructions
+
+
+@dataclass(slots=True)
+class SyntheticResult:
+    strategy: str
+    allocation: Allocation
+    extra_copies: int
+    residual: int
+
+
+def whole_program(
+    sets: Sequence[frozenset[int]], k: int, seed: int = 0
+) -> SyntheticResult:
+    """STOR1 analogue: one conflict graph over the whole stream."""
+    result = assign_modules(sets, k, seed=seed)
+    return SyntheticResult(
+        "whole",
+        result.allocation,
+        result.allocation.extra_copies,
+        len(conflicting_instructions(sets, result.allocation)),
+    )
+
+
+def phased(
+    regions: Sequence[Sequence[frozenset[int]]], k: int, seed: int = 0
+) -> SyntheticResult:
+    """STOR3/STOR-REGION analogue: assign one region at a time, earlier
+    placements fixed."""
+    alloc: Allocation | None = None
+    for region in regions:
+        stage = assign_modules(list(region), k, initial=alloc, seed=seed)
+        alloc = stage.allocation
+    assert alloc is not None
+    flat = [s for region in regions for s in region]
+    return SyntheticResult(
+        f"phased({len(regions)})",
+        alloc,
+        alloc.extra_copies,
+        len(conflicting_instructions(flat, alloc)),
+    )
+
+
+def globals_first(
+    regions: Sequence[Sequence[frozenset[int]]], k: int, seed: int = 0
+) -> SyntheticResult:
+    """STOR2 analogue: values occurring in more than one region are
+    assigned first, using only their mutual conflicts; then each region's
+    locals around them."""
+    seen: dict[int, int] = {}
+    for i, region in enumerate(regions):
+        for ops in region:
+            for v in ops:
+                seen.setdefault(v, i)
+    shared = {
+        v
+        for i, region in enumerate(regions)
+        for ops in region
+        for v in ops
+        if seen[v] != i
+    }
+
+    flat = [s for region in regions for s in region]
+    stage1 = assign_modules(
+        [ops & shared for ops in flat], k, all_values=shared, seed=seed
+    )
+    alloc = stage1.allocation
+    for region in regions:
+        stage = assign_modules(list(region), k, initial=alloc, seed=seed)
+        alloc = stage.allocation
+    return SyntheticResult(
+        "globals_first",
+        alloc,
+        alloc.extra_copies,
+        len(conflicting_instructions(flat, alloc)),
+    )

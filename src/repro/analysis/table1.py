@@ -1,0 +1,96 @@
+"""Table 1 — Duplication of Data (paper §3).
+
+For each of the six benchmark programs and each storage strategy
+(STOR1, STOR2, STOR3), count the scalars ending up with exactly one
+copy (column ``=1``) and with multiple copies (column ``>1``), on the
+eight-module machine, using the hitting-set approach (the paper reports
+that backtracking gave "quite similar" results — the ablation benchmark
+checks that claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.strategies import run_strategy
+from ..liw.machine import MachineConfig
+from ..pipeline import CompiledProgram, compile_for_paper
+from ..programs import all_programs
+
+STRATEGY_NAMES = ("STOR1", "STOR2", "STOR3")
+
+
+@dataclass(slots=True)
+class Table1Row:
+    program: str
+    singles: dict[str, int]
+    multiples: dict[str, int]
+    residuals: dict[str, int]
+
+
+@dataclass(slots=True)
+class Table1:
+    k: int
+    method: str
+    rows: list[Table1Row]
+
+    def format(self) -> str:
+        header = (
+            f"Table 1. Duplication of Data (k={self.k}, {self.method})\n"
+            f"{'':10s}" + "".join(f"| {s:^11s} " for s in STRATEGY_NAMES)
+            + "\n"
+            f"{'program':10s}"
+            + "|  =1    >1   " * len(STRATEGY_NAMES)
+        )
+        lines = [header]
+        for row in self.rows:
+            cells = "".join(
+                f"| {row.singles[s]:4d} {row.multiples[s]:4d}   "
+                for s in STRATEGY_NAMES
+            )
+            lines.append(f"{row.program:10s}{cells}")
+        return "\n".join(lines)
+
+
+def compiled_suite(
+    machine: MachineConfig | None = None, unroll: int = 4
+) -> list[tuple[object, CompiledProgram]]:
+    """The six paper benchmarks compiled at the paper-scale configuration."""
+    machine = machine or MachineConfig(num_fus=4, num_modules=8)
+    return [
+        (spec, compile_for_paper(spec.source, machine, unroll=unroll))
+        for spec in all_programs()
+    ]
+
+
+def table1_for_program(
+    program: CompiledProgram,
+    name: str,
+    k: int | None = None,
+    method: str = "hitting_set",
+) -> Table1Row:
+    singles: dict[str, int] = {}
+    multiples: dict[str, int] = {}
+    residuals: dict[str, int] = {}
+    for strategy in STRATEGY_NAMES:
+        result = run_strategy(
+            strategy, program.schedule, program.renamed, k, method=method
+        )
+        singles[strategy] = result.singles
+        multiples[strategy] = result.multiples
+        residuals[strategy] = len(result.residual_instructions)
+    return Table1Row(name, singles, multiples, residuals)
+
+
+def generate_table1(
+    machine: MachineConfig | None = None,
+    method: str = "hitting_set",
+    unroll: int = 4,
+) -> Table1:
+    """Regenerate Table 1 on the compiled benchmark suite."""
+    machine = machine or MachineConfig(num_fus=4, num_modules=8)
+    rows = [
+        table1_for_program(prog, spec.name, machine.k, method)
+        for spec, prog in compiled_suite(machine, unroll)
+    ]
+    return Table1(machine.k, method, rows)

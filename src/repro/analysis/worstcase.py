@@ -1,0 +1,185 @@
+"""Worst-case behaviour of the paper's heuristics (§2.1, §2.2.2.1).
+
+The paper states two performance bounds:
+
+- the colouring heuristic may leave ``(n-k)`` nodes uncoloured where the
+  optimum leaves two — ratio ``(n-k)/2``;
+- the hitting-set heuristic is ``H_m``-approximate, ``H_m = 1 + 1/2 +
+  ... + 1/m``, where m bounds how many sets an element appears in.
+
+These functions measure both heuristics against the exact algorithms of
+:mod:`repro.core.exact` — on adversarial families (crown graphs for the
+colouring order, the classic greedy-covering trap for hitting sets) and
+on random instances — demonstrating genuine suboptimality gaps while
+checking that the paper's bounds are respected.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..core.coloring import color_graph
+from ..core.conflict_graph import ConflictGraph
+from ..core.exact import min_hitting_set, min_removal_coloring
+from ..core.hitting_set import greedy_hitting_set, is_hitting_set, paper_hitting_set
+from .workloads import crown_graph_instructions, greedy_hitting_adversary
+
+
+@dataclass(slots=True)
+class ColoringGap:
+    instance: str
+    n: int
+    k: int
+    heuristic_removed: int
+    optimal_removed: int
+
+    @property
+    def ratio(self) -> float:
+        if self.optimal_removed == 0:
+            return float("inf") if self.heuristic_removed else 1.0
+        return self.heuristic_removed / self.optimal_removed
+
+
+def coloring_gap_crown(n: int, k: int = 2) -> ColoringGap:
+    """Crown graph S_n^0: 2-colourable (optimal removes 0); ordering
+    heuristics can be lured into removals."""
+    graph = ConflictGraph.from_operand_sets(crown_graph_instructions(n))
+    heur = color_graph(graph, k)
+    # The crown graph is bipartite: optimal removal count is 0 for k>=2.
+    return ColoringGap(f"crown({n})", 2 * n, k, len(heur.unassigned), 0)
+
+
+def coloring_gap_random(
+    n: int, k: int, edge_prob: float, seed: int
+) -> ColoringGap:
+    rng = random.Random(seed)
+    sets = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < edge_prob:
+                sets.append(frozenset({i, j}))
+    graph = ConflictGraph.from_operand_sets(sets)
+    heur = color_graph(graph, k)
+    removed, _ = min_removal_coloring(graph, k)
+    return ColoringGap(
+        f"G({n},{edge_prob})#{seed}", n, k, len(heur.unassigned), len(removed)
+    )
+
+
+def worst_coloring_gap_random(
+    trials: int = 50, n: int = 9, k: int = 3, edge_prob: float = 0.55
+) -> ColoringGap:
+    """The worst heuristic/optimal removal gap over random instances."""
+    worst: ColoringGap | None = None
+    for seed in range(trials):
+        gap = coloring_gap_random(n, k, edge_prob, seed)
+        if (
+            worst is None
+            or (gap.heuristic_removed - gap.optimal_removed)
+            > (worst.heuristic_removed - worst.optimal_removed)
+        ):
+            worst = gap
+    assert worst is not None
+    return worst
+
+
+@dataclass(slots=True)
+class HittingSetGap:
+    instance: str
+    m: int
+    paper_size: int
+    greedy_size: int
+    optimal_size: int
+    h_m_bound: float
+
+    @property
+    def paper_ratio(self) -> float:
+        return self.paper_size / self.optimal_size if self.optimal_size else 1.0
+
+
+def h_m(m: int) -> float:
+    return sum(1.0 / i for i in range(1, m + 1))
+
+
+def hitting_set_gap_adversary(m: int, k: int = 8) -> HittingSetGap:
+    sets = greedy_hitting_adversary(m)
+    occurrences = max(
+        sum(1 for s in sets if v in s) for v in set().union(*sets)
+    )
+    paper = paper_hitting_set(sets, k=max(k, max(len(s) for s in sets)))
+    greedy = greedy_hitting_set(sets)
+    optimal = min_hitting_set(sets)
+    assert is_hitting_set(sets, paper)
+    assert is_hitting_set(sets, greedy)
+    return HittingSetGap(
+        f"adversary({m})", m, len(paper), len(greedy), len(optimal),
+        h_m(occurrences),
+    )
+
+
+def worst_hitting_gap_random(
+    trials: int = 200,
+    universe: int = 9,
+    max_size: int = 3,
+) -> HittingSetGap:
+    """The worst paper-heuristic/optimal ratio found by random search —
+    demonstrating that the Fig. 9 one-pass heuristic genuinely
+    overshoots (while staying within the paper's H_m bound)."""
+    import random as _random
+
+    worst: HittingSetGap | None = None
+    for seed in range(trials):
+        rng = _random.Random(seed)
+        sets = [
+            frozenset(rng.sample(range(universe), rng.randint(2, max_size)))
+            for _ in range(rng.randint(6, 14))
+        ]
+        gap = _gap_for(sets, max_size, f"random#{seed}")
+        if gap.optimal_size == 0:
+            continue
+        if worst is None or gap.paper_ratio > worst.paper_ratio:
+            worst = gap
+    assert worst is not None
+    return worst
+
+
+def _gap_for(
+    sets: list[frozenset[int]], k: int, name: str
+) -> HittingSetGap:
+    occurrences = max(
+        (sum(1 for s in sets if v in s) for v in set().union(*sets)),
+        default=1,
+    )
+    paper = paper_hitting_set(sets, k)
+    greedy = greedy_hitting_set(sets)
+    optimal = min_hitting_set(sets)
+    assert is_hitting_set(sets, paper)
+    return HittingSetGap(
+        name, len(sets), len(paper), len(greedy), len(optimal),
+        h_m(occurrences),
+    )
+
+
+def hitting_set_gap_random(
+    n_sets: int, universe: int, max_size: int, seed: int
+) -> HittingSetGap:
+    rng = random.Random(seed)
+    sets = [
+        frozenset(
+            rng.sample(range(universe), rng.randint(1, max_size))
+        )
+        for _ in range(n_sets)
+    ]
+    occurrences = max(
+        (sum(1 for s in sets if v in s) for v in range(universe)),
+        default=1,
+    )
+    paper = paper_hitting_set(sets, k=max_size)
+    greedy = greedy_hitting_set(sets)
+    optimal = min_hitting_set(sets)
+    assert is_hitting_set(sets, paper)
+    return HittingSetGap(
+        f"random#{seed}", n_sets, len(paper), len(greedy), len(optimal),
+        h_m(occurrences),
+    )

@@ -1,0 +1,17 @@
+"""Naive allocation baselines for comparison with the paper's techniques."""
+
+from .naive import (
+    BASELINES,
+    first_fit_coloring,
+    random_assignment,
+    round_robin,
+    single_module,
+)
+
+__all__ = [
+    "BASELINES",
+    "first_fit_coloring",
+    "random_assignment",
+    "round_robin",
+    "single_module",
+]

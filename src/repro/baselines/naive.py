@@ -1,0 +1,92 @@
+"""Naive storage-assignment baselines.
+
+The paper's techniques are motivated against what a compiler would do
+without them; these allocators provide those comparison points for the
+ablation benchmarks and examples:
+
+- :func:`single_module` — everything in module 0 (no parallel memory);
+- :func:`round_robin` — values striped by id, ignoring conflicts;
+- :func:`random_assignment` — uniform random module per value;
+- :func:`first_fit_coloring` — greedy colouring in plain id order (no
+  weights, no urgency, no atoms), removals resolved by round-robin
+  copies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..core.allocation import Allocation
+from ..core.conflict_graph import ConflictGraph
+
+
+def _all_values(operand_sets: Sequence[frozenset[int]]) -> list[int]:
+    out: set[int] = set()
+    for ops in operand_sets:
+        out |= ops
+    return sorted(out)
+
+
+def single_module(
+    operand_sets: Iterable[Iterable[int]], k: int
+) -> Allocation:
+    sets = [frozenset(s) for s in operand_sets]
+    alloc = Allocation(k)
+    for v in _all_values(sets):
+        alloc.add_copy(v, 0)
+    return alloc
+
+
+def round_robin(operand_sets: Iterable[Iterable[int]], k: int) -> Allocation:
+    sets = [frozenset(s) for s in operand_sets]
+    alloc = Allocation(k)
+    for i, v in enumerate(_all_values(sets)):
+        alloc.add_copy(v, i % k)
+    return alloc
+
+
+def random_assignment(
+    operand_sets: Iterable[Iterable[int]], k: int, seed: int = 0
+) -> Allocation:
+    rng = random.Random(seed)
+    sets = [frozenset(s) for s in operand_sets]
+    alloc = Allocation(k)
+    for v in _all_values(sets):
+        alloc.add_copy(v, rng.randrange(k))
+    return alloc
+
+
+def first_fit_coloring(
+    operand_sets: Iterable[Iterable[int]], k: int
+) -> Allocation:
+    """Greedy first-fit colouring in node-id order; nodes that cannot be
+    coloured get copies in round-robin modules until every instruction
+    they appear in is satisfiable."""
+    sets = [frozenset(s) for s in operand_sets]
+    graph = ConflictGraph.from_operand_sets(sets)
+    alloc = Allocation(k)
+    color: dict[int, int] = {}
+    leftovers: list[int] = []
+    for v in sorted(graph.nodes):
+        taken = {color[u] for u in graph.neighbors(v) if u in color}
+        free = [m for m in range(k) if m not in taken]
+        if free:
+            color[v] = free[0]
+            alloc.add_copy(v, free[0])
+        else:
+            leftovers.append(v)
+    for i, v in enumerate(leftovers):
+        # Two copies spread round-robin; crude but conflict-reducing.
+        first = i % k
+        alloc.add_copy(v, first)
+        alloc.add_copy(v, (first + k // 2) % k if k > 1 else first)
+    return alloc
+
+
+BASELINES = {
+    "single_module": single_module,
+    "round_robin": round_robin,
+    "random": random_assignment,
+    "first_fit": first_fit_coloring,
+}

@@ -1,0 +1,109 @@
+"""Storage allocation: which memory module(s) hold each data value.
+
+A value may have several *copies* (read-only replicas, paper §2): its
+placement is a set of module indices ``0..k-1``.  The x-grid figures of
+the paper (e.g. Fig. 1) correspond line-by-line to rows of
+:meth:`Allocation.grid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(slots=True)
+class Allocation:
+    """Mutable value -> module-set mapping for a k-module memory."""
+
+    k: int
+    _placement: dict[int, set[int]] = field(default_factory=dict)
+    #: (value, module) pairs in creation order — the audit trail used by
+    #: tests that replay the paper's worked examples.
+    history: list[tuple[int, int]] = field(default_factory=list)
+
+    def _check_module(self, module: int) -> None:
+        if not 0 <= module < self.k:
+            raise ValueError(f"module {module} out of range [0, {self.k})")
+
+    # -- mutation -----------------------------------------------------------
+
+    def place(self, value: int, module: int) -> None:
+        """Place the first copy of ``value``; it must be unplaced."""
+        self._check_module(module)
+        if value in self._placement:
+            raise ValueError(f"value {value} already placed; use add_copy")
+        self._placement[value] = {module}
+        self.history.append((value, module))
+
+    def add_copy(self, value: int, module: int) -> None:
+        """Add a copy of ``value`` (first or additional) in ``module``."""
+        self._check_module(module)
+        mods = self._placement.setdefault(value, set())
+        if module in mods:
+            raise ValueError(f"value {value} already has a copy in {module}")
+        mods.add(module)
+        self.history.append((value, module))
+
+    # -- queries ------------------------------------------------------------
+
+    def modules(self, value: int) -> frozenset[int]:
+        """Modules holding a copy of ``value`` (empty if unplaced)."""
+        return frozenset(self._placement.get(value, ()))
+
+    def primary(self, value: int) -> int:
+        """The first module a copy of ``value`` was placed in — where the
+        defining instruction writes; further copies are filled by
+        scheduled transfers (see :mod:`repro.liw.transfers`)."""
+        for v, m in self.history:
+            if v == value:
+                return m
+        raise KeyError(f"value {value} is unplaced")
+
+    def is_placed(self, value: int) -> bool:
+        return value in self._placement
+
+    def copy_count(self, value: int) -> int:
+        return len(self._placement.get(value, ()))
+
+    def values(self) -> list[int]:
+        return sorted(self._placement)
+
+    def single_copy_values(self) -> list[int]:
+        return sorted(v for v, m in self._placement.items() if len(m) == 1)
+
+    def multi_copy_values(self) -> list[int]:
+        return sorted(v for v, m in self._placement.items() if len(m) > 1)
+
+    @property
+    def total_copies(self) -> int:
+        return sum(len(m) for m in self._placement.values())
+
+    @property
+    def extra_copies(self) -> int:
+        """Copies beyond the mandatory one per placed value."""
+        return self.total_copies - len(self._placement)
+
+    def copy(self) -> "Allocation":
+        dup = Allocation(self.k)
+        dup._placement = {v: set(m) for v, m in self._placement.items()}
+        dup.history = list(self.history)
+        return dup
+
+    # -- presentation -------------------------------------------------------
+
+    def grid(self, values: Iterable[int] | None = None) -> str:
+        """Render the x-grid of the paper's figures."""
+        vals = sorted(self._placement) if values is None else list(values)
+        header = "      " + " ".join(f"M{m + 1}" for m in range(self.k))
+        lines = [header]
+        for v in vals:
+            row = "".join(
+                " x " if m in self._placement.get(v, ()) else " - "
+                for m in range(self.k)
+            )
+            lines.append(f"V{v:<4d}{row}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict[int, frozenset[int]]:
+        return {v: frozenset(m) for v, m in self._placement.items()}

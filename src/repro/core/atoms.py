@@ -1,0 +1,213 @@
+"""Clique-separator decomposition into atoms (paper §2.1, Tarjan 1985).
+
+The paper decomposes the conflict graph into *atoms* — subgraphs with no
+clique separator — and colours one atom at a time: if every atom is
+k-colourable then so is the whole graph, since colours can be permuted
+to agree on the shared cliques.
+
+Implementation: per connected component, MCS-M (Berry, Blair, Heggernes
+& Peyton 2004) computes a *minimal* triangulation H of G together with a
+minimal elimination ordering.  Scanning vertices in that order, the
+higher-numbered neighbourhood ``madj(v)`` is a minimal separator of H;
+when it is also a clique in G and genuinely disconnects the current
+piece, it is a clique separator of G and splits off the component
+containing v (Tarjan's lemma; see Berry, Pogorelcnik & Simonet 2010).
+Splits recurse on vertex subsets *reusing the one triangulation* — the
+restriction of a chordal graph is chordal and the restricted order stays
+a perfect elimination order, so every candidate separator remains valid;
+the recursion only performs explicit clique and separation checks.
+
+Graphs larger than ``max_nodes`` skip the decomposition (each oversized
+connected component is returned whole): the decomposition exists to make
+colouring *manageable* (paper §2.1), and the colouring heuristic handles
+large graphs directly, while MCS-M's O(n·e) does not pay for itself in
+pure Python at that scale.  This engineering bound is recorded in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from .conflict_graph import ConflictGraph
+
+#: Components larger than this are not decomposed further by default.
+DEFAULT_MAX_NODES = 800
+
+
+def mcs_m(graph: ConflictGraph) -> tuple[dict[int, set[int]], list[int]]:
+    """MCS-M minimal triangulation.
+
+    Returns ``(fill_adjacency, order)`` where ``fill_adjacency`` is the
+    adjacency of the triangulated graph H (a superset of G's) and
+    ``order`` lists vertices in elimination order (order[0] eliminated
+    first).  MCS-M numbers vertices n..1; elimination order is the
+    reverse of numbering order.
+    """
+    vertices = sorted(graph.nodes)
+    weight: dict[int, int] = {v: 0 for v in vertices}
+    numbered: set[int] = set()
+    h_adj: dict[int, set[int]] = {v: set(graph.adj[v]) for v in vertices}
+    numbering: list[int] = []  # order of numbering (n, n-1, ..., 1)
+
+    # Lazy max-heap over (weight, -vertex); stale entries are skipped.
+    heap: list[tuple[int, int]] = [(0, v) for v in vertices]
+    heapq.heapify(heap)
+
+    for _ in range(len(vertices)):
+        while True:
+            neg_w, v = heapq.heappop(heap)
+            if v not in numbered and -neg_w == weight[v]:
+                break
+        # Find all unnumbered u reachable from v via paths whose internal
+        # vertices are unnumbered with weight strictly below weight[u]:
+        # compute minimax[u] = min over paths of max internal weight via
+        # a Dijkstra-like search, then test minimax[u] < weight[u].
+        minimax: dict[int, int] = {}
+        search: list[tuple[int, int]] = []
+        for u in graph.adj[v]:
+            if u not in numbered:
+                minimax[u] = -1  # direct edge: no internal vertices
+                search.append((-1, u))
+        heapq.heapify(search)
+        while search:
+            d, u = heapq.heappop(search)
+            if d > minimax.get(u, 1 << 60):
+                continue
+            through = max(d, weight[u])
+            for w in graph.adj[u]:
+                if w in numbered or w == v:
+                    continue
+                if through < minimax.get(w, 1 << 60):
+                    minimax[w] = through
+                    heapq.heappush(search, (through, w))
+        reached = {u for u, d in minimax.items() if d < weight[u]}
+        for u in reached:
+            weight[u] += 1
+            heapq.heappush(heap, (-weight[u], u))
+            h_adj[v].add(u)
+            h_adj[u].add(v)
+        numbered.add(v)
+        numbering.append(v)
+
+    elimination_order = list(reversed(numbering))
+    return h_adj, elimination_order
+
+
+@dataclass(slots=True)
+class AtomDecomposition:
+    """Result of decomposing a conflict graph."""
+
+    atoms: list[ConflictGraph]
+    separators: list[frozenset[int]]
+
+
+def _component_of(
+    adj: dict[int, set[int]],
+    start: int,
+    universe: set[int],
+    excluded: frozenset[int],
+) -> set[int]:
+    comp: set[int] = set()
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        if v in comp or v in excluded or v not in universe:
+            continue
+        comp.add(v)
+        stack.extend(adj[v])
+    return comp
+
+
+def _decompose_component(
+    graph: ConflictGraph,
+    component: set[int],
+    out_atoms: list[set[int]],
+    out_separators: list[frozenset[int]],
+) -> None:
+    """Split one connected component using a single MCS-M triangulation."""
+    sub = graph.subgraph(component)
+    h_adj, order = mcs_m(sub)
+    position = {v: i for i, v in enumerate(order)}
+
+    work: list[set[int]] = [set(component)]
+    while work:
+        piece = work.pop()
+        if len(piece) <= 2:
+            out_atoms.append(piece)
+            continue
+        split = None
+        for v in sorted(piece, key=position.__getitem__):
+            madj = frozenset(
+                u
+                for u in h_adj[v]
+                if u in piece and position[u] > position[v]
+            )
+            if not madj or len(madj) >= len(piece) - 1:
+                continue
+            if not graph.is_clique(madj):
+                continue
+            comp = _component_of(graph.adj, v, piece, madj)
+            if len(comp) + len(madj) < len(piece):
+                split = (madj, comp)
+                break
+        if split is None:
+            out_atoms.append(piece)
+            continue
+        madj, comp = split
+        out_separators.append(madj)
+        work.append(comp | madj)
+        work.append(piece - comp)
+
+
+def decompose_atoms(
+    graph: ConflictGraph, max_nodes: int = DEFAULT_MAX_NODES
+) -> AtomDecomposition:
+    """Split ``graph`` into atoms by clique-separator splits.
+
+    Disconnected graphs split along the empty separator first (the empty
+    set is a clique).  Components larger than ``max_nodes`` are returned
+    whole (see module docstring).  Each returned atom is an induced
+    subgraph of the input; separator vertices appear in every atom they
+    border.
+
+    **Atom order matters**: atoms are emitted in depth-first order of
+    the decomposition tree, which has the running-intersection property
+    — each atom's overlap with the union of all earlier atoms lies
+    inside one separator clique.  Colouring atoms in this order with
+    shared vertices pre-assigned therefore composes into a proper
+    colouring of the whole graph (out-of-order colouring can assign two
+    adjacent separator vertices the same colour in atoms that do not
+    contain their edge).
+    """
+    atom_sets: list[set[int]] = []
+    separators: list[frozenset[int]] = []
+
+    comps = graph.components()
+    if len(comps) > 1:
+        separators.append(frozenset())
+
+    for comp in comps:
+        if len(comp) <= 2 or len(comp) > max_nodes:
+            atom_sets.append(comp)
+        else:
+            _decompose_component(graph, comp, atom_sets, separators)
+
+    atoms = [graph.subgraph(s) for s in atom_sets]
+    return AtomDecomposition(atoms, separators)
+
+
+def has_clique_separator(graph: ConflictGraph) -> bool:
+    """Whether the graph has at least one clique separator (property-test
+    helper; the graph must be small)."""
+    comps = graph.components()
+    if len(comps) > 1:
+        return True
+    atoms: list[set[int]] = []
+    seps: list[frozenset[int]] = []
+    for comp in comps:
+        if len(comp) <= 2:
+            continue
+        _decompose_component(graph, comp, atoms, seps)
+    return bool(seps)

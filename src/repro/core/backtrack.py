@@ -1,0 +1,145 @@
+"""Per-instruction duplication by backtracking (paper §2.2.1, Fig. 6).
+
+After colouring, the removed values (``V_unassigned``) are placed one
+instruction at a time.  Instructions are ordered by how many of their
+operands are in ``V_unassigned`` (fewest first: an instruction with a
+single duplicable operand has essentially one fix, so it must not be
+pre-empted).  For each instruction, backtracking enumerates every
+assignment of its duplicable operands to modules that makes the
+instruction conflict free, preferring assignments that reuse existing
+copies; the cheapest (fewest new copies) wins, ties resolved per
+``tie_break``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .allocation import Allocation
+from .verify import sdr_exists
+
+
+@dataclass(slots=True)
+class BacktrackStats:
+    instructions_processed: int = 0
+    placements_enumerated: int = 0
+    copies_created: int = 0
+    unreferenced_placed: list[int] = field(default_factory=list)
+    #: instructions for which no conflict-free placement exists (wider
+    #: than k, or fixed operands already clashing)
+    residual_instructions: list[frozenset[int]] = field(default_factory=list)
+
+
+def _enumerate_placements(
+    operands: Sequence[int],
+    forbidden: frozenset[int],
+    alloc: Allocation,
+) -> list[tuple[int, tuple[int, ...]]]:
+    """All conflict-free module assignments for ``operands``.
+
+    Returns ``(new_copy_count, modules)`` pairs; ``modules[i]`` hosts
+    ``operands[i]``.  Assigned modules must be pairwise distinct and
+    avoid ``forbidden`` (the modules of the instruction's fixed,
+    single-copy operands).
+    """
+    k = alloc.k
+    results: list[tuple[int, tuple[int, ...]]] = []
+    chosen: list[int] = []
+
+    def backtrack(i: int, cost: int) -> None:
+        if i == len(operands):
+            results.append((cost, tuple(chosen)))
+            return
+        v = operands[i]
+        existing = alloc.modules(v)
+        # Cheapest-first: existing copies cost 0, new modules cost 1.
+        candidates = sorted(
+            (m for m in range(k) if m not in forbidden and m not in chosen),
+            key=lambda m: (m not in existing, m),
+        )
+        for m in candidates:
+            chosen.append(m)
+            backtrack(i + 1, cost + (m not in existing))
+            chosen.pop()
+
+    backtrack(0, 0)
+    return results
+
+
+def backtrack_duplication(
+    operand_sets: Sequence[frozenset[int]],
+    alloc: Allocation,
+    unassigned: Sequence[int],
+    rng: random.Random | None = None,
+    tie_break: str = "random",
+) -> BacktrackStats:
+    """Apply Fig. 6 to place copies of ``unassigned`` values, mutating
+    ``alloc``.  Fixed operands (everything not in ``unassigned``) must
+    already be placed."""
+    rng = rng or random.Random(0)
+    stats = BacktrackStats()
+    unassigned_set = set(unassigned)
+
+    # Fig. 6: S_i = instructions with i operands in V_unassigned.
+    relevant = [ops for ops in operand_sets if ops & unassigned_set]
+    relevant.sort(key=lambda ops: (len(ops & unassigned_set), sorted(ops)))
+
+    for ops in relevant:
+        todo = sorted(ops & unassigned_set)
+        fixed = ops - unassigned_set
+        forbidden: set[int] = set()
+        for v in fixed:
+            mods = alloc.modules(v)
+            if not mods:
+                raise ValueError(f"fixed operand {v} is unplaced")
+            if len(mods) == 1:
+                forbidden.add(next(iter(mods)))
+            # A fixed operand that itself has copies (possible after
+            # STOR phases) can dodge; leave its modules available.
+        placements = _enumerate_placements(todo, frozenset(forbidden), alloc)
+        # With multi-copy fixed operands (STOR2/3 later phases) pairwise
+        # distinctness is not sufficient; keep only placements for which
+        # the whole instruction admits distinct representatives.
+        multi_fixed = [alloc.modules(v) for v in fixed if alloc.copy_count(v) > 1]
+        if multi_fixed:
+            fixed_sets = [alloc.modules(v) for v in fixed]
+            placements = [
+                (c, p)
+                for c, p in placements
+                if sdr_exists(fixed_sets + [{m} for m in p])
+            ]
+        stats.instructions_processed += 1
+        stats.placements_enumerated += len(placements)
+        if not placements:
+            # No conflict-free placement exists — the instruction is
+            # wider than k, or its fixed operands already clash.  Place
+            # any still-unplaced operands somewhere (storage must be
+            # total) and record the residual conflict.
+            stats.residual_instructions.append(ops)
+            for v in todo:
+                if not alloc.is_placed(v):
+                    alloc.add_copy(v, 0)
+                    stats.copies_created += 1
+            continue
+        best_cost = min(c for c, _ in placements)
+        best = [p for c, p in placements if c == best_cost]
+        if len(best) == 1 or tie_break == "first":
+            modules = best[0]
+        elif tie_break == "random":
+            modules = rng.choice(best)
+        else:
+            raise ValueError(f"unknown tie_break {tie_break!r}")
+        for v, m in zip(todo, modules):
+            if m not in alloc.modules(v):
+                alloc.add_copy(v, m)
+                stats.copies_created += 1
+
+    # Values never used together with anything still need storage.
+    for v in sorted(unassigned_set):
+        if not alloc.is_placed(v):
+            alloc.add_copy(v, 0)
+            stats.copies_created += 1
+            stats.unreferenced_placed.append(v)
+    return stats

@@ -1,0 +1,277 @@
+"""The graph-colouring heuristic of paper Fig. 4, plus the atom driver.
+
+Faithful implementation notes (all from §2.1):
+
+- directional edge weights: ``wt(a -> b) = 0`` when ``d(a) < k`` (a node
+  of degree below k can always be coloured, so edges *leaving* it carry
+  no urgency), else ``conf(a, b)``;
+- the first node coloured is the one with maximum total outgoing weight
+  ``S_n``; it gets module M1;
+- thereafter the *urgency* of an uncoloured node is the sum of weights
+  on edges arriving from coloured nodes divided by the number of modules
+  still assignable to it; a node with no remaining module has infinite
+  urgency and is removed into ``V_unassigned`` as soon as it is picked;
+- ties (urgency, first node, module choice) are resolved deterministically
+  by smallest node id / module index, so runs are reproducible.
+
+The atom driver decomposes the graph with
+:func:`repro.core.atoms.decompose_atoms` and colours atoms sequentially;
+vertices shared with previously-coloured atoms (separator cliques) enter
+the next atom as pre-assigned constraints, which keeps the combined
+colouring proper without a permutation step.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .atoms import decompose_atoms
+from .conflict_graph import ConflictGraph
+
+
+@dataclass(frozen=True, slots=True)
+class ColoringStep:
+    """One decision of the heuristic (trace entry; reproduces Fig. 5)."""
+
+    node: int
+    urgency_numerator: int
+    modules_left: int
+    action: str  # 'first' | 'assigned' | 'removed' | 'preassigned'
+    module: int | None
+
+
+@dataclass(slots=True)
+class ColoringResult:
+    """Outcome of colouring: module per coloured node, removal list."""
+
+    k: int
+    assignment: dict[int, int] = field(default_factory=dict)
+    unassigned: list[int] = field(default_factory=list)
+    trace: list[ColoringStep] = field(default_factory=list)
+
+    @property
+    def assigned(self) -> set[int]:
+        return set(self.assignment)
+
+    def is_proper(self, graph: ConflictGraph) -> bool:
+        for u, v in graph.edges():
+            cu, cv = self.assignment.get(u), self.assignment.get(v)
+            if cu is not None and cv is not None and cu == cv:
+                return False
+        return True
+
+    def merge(self, other: "ColoringResult") -> None:
+        for node, module in other.assignment.items():
+            existing = self.assignment.get(node)
+            if existing is not None and existing != module:
+                raise ValueError(f"conflicting colours for node {node}")
+            self.assignment[node] = module
+        for node in other.unassigned:
+            if node not in self.unassigned:
+                self.unassigned.append(node)
+        self.trace.extend(other.trace)
+
+
+def _edge_weights(graph: ConflictGraph, k: int) -> dict[tuple[int, int], int]:
+    """Directional weights wt(a -> b) per Fig. 4."""
+    wt: dict[tuple[int, int], int] = {}
+    for u, v in graph.edges():
+        c = graph.conflict_count(u, v)
+        wt[(u, v)] = 0 if graph.degree(u) < k else c
+        wt[(v, u)] = 0 if graph.degree(v) < k else c
+    return wt
+
+
+def color_atom(
+    graph: ConflictGraph,
+    k: int,
+    preassigned: dict[int, int] | None = None,
+    module_choice: str = "first",
+    module_use: list[int] | None = None,
+    prefer: set[int] | None = None,
+) -> ColoringResult:
+    """Colour one atom with the Fig. 4 heuristic.
+
+    ``preassigned`` nodes keep their module and seed ``V_assigned``
+    (used for separator vertices, STOR2 globals, and STOR3 phase 2).
+    ``module_choice`` picks among the modules still available to the
+    chosen node: ``'first'`` (lowest index, the paper's "one of the
+    available modules", with M1 for the first node per Fig. 4) or
+    ``'least_used'`` (spread values out; ``module_use`` lets the caller
+    share usage counts across atoms).
+
+    ``prefer`` marks nodes that must be coloured before all others
+    (non-duplicable values: their removal cannot be repaired by copies).
+    This is an extension over Fig. 4 — the paper's values are all
+    single-definition — ordered by urgency within each class.
+    """
+    result = ColoringResult(k)
+    preassigned = preassigned or {}
+    prefer = prefer or set()
+    nodes = sorted(graph.nodes)
+    if not nodes:
+        return result
+
+    wt = _edge_weights(graph, k)
+
+    # Incremental state.
+    if module_use is None:
+        module_use = [0] * k  # how many nodes use each module (least_used)
+    incoming: dict[int, int] = {v: 0 for v in nodes}  # Σ wt(assigned -> v)
+    neighbor_colors: dict[int, set[int]] = {v: set() for v in nodes}
+    rest = set(nodes)
+
+    def assign(node: int, module: int, action: str, urgency_num: int) -> None:
+        result.assignment[node] = module
+        module_use[module] += 1
+        result.trace.append(
+            ColoringStep(node, urgency_num, k - len(neighbor_colors[node]),
+                         action, module)
+        )
+        for nb in graph.adj[node]:
+            if nb in rest:
+                incoming[nb] += wt[(node, nb)]
+                neighbor_colors[nb].add(module)
+
+    for node, module in preassigned.items():
+        if node in rest:
+            rest.discard(node)
+            assign(node, module, "preassigned", 0)
+
+    if not preassigned:
+        # Fig. 4: n_first = argmax S_n, assigned M1 ('least_used' mode
+        # picks the globally least-used module instead).
+        s_val = {
+            v: sum(wt[(v, u)] for u in graph.adj[v]) for v in nodes
+        }
+        pool = sorted(prefer & rest) or nodes
+        first = max(pool, key=lambda v: (s_val[v], -v))
+        rest.discard(first)
+        if module_choice == "least_used":
+            first_module = min(range(k), key=lambda m: (module_use[m], m))
+        else:
+            first_module = 0
+        assign(first, first_module, "first", s_val[first])
+
+    while rest:
+        # Pick max urgency  U = incoming / K  (K = 0 -> infinite),
+        # preferred (non-duplicable) nodes strictly first.
+        pool = sorted(prefer & rest) or sorted(rest)
+        best: int | None = None
+        best_num, best_den = -1, 1  # urgency as a fraction num/den
+        best_inf = False
+        for v in pool:
+            k_v = k - len(neighbor_colors[v])
+            if k_v == 0:
+                if not best_inf or best is None:
+                    best, best_inf = v, True
+                    break  # smallest-id infinite-urgency node wins
+            elif not best_inf:
+                num = incoming[v]
+                # num/k_v > best_num/best_den  <=>  num*best_den > best_num*k_v
+                if best is None or num * best_den > best_num * k_v:
+                    best, best_num, best_den = v, num, k_v
+        assert best is not None
+        rest.discard(best)
+
+        k_best = k - len(neighbor_colors[best])
+        if k_best == 0:
+            result.unassigned.append(best)
+            result.trace.append(
+                ColoringStep(best, incoming[best], 0, "removed", None)
+            )
+            continue
+        available = [m for m in range(k) if m not in neighbor_colors[best]]
+        if module_choice == "least_used":
+            module = min(available, key=lambda m: (module_use[m], m))
+        elif module_choice == "first":
+            module = available[0]
+        else:
+            raise ValueError(f"unknown module_choice {module_choice!r}")
+        assign(best, module, "assigned", incoming[best])
+
+    return result
+
+
+def color_graph(
+    graph: ConflictGraph,
+    k: int,
+    preassigned: dict[int, int] | None = None,
+    module_choice: str = "first",
+    use_atoms: bool = True,
+    prefer: set[int] | None = None,
+) -> ColoringResult:
+    """Colour a conflict graph (paper §2.1): decompose into atoms, colour
+    each, composing via shared-clique constraints.  ``prefer`` marks
+    nodes coloured before all others (see :func:`color_atom`)."""
+    preassigned = dict(preassigned or {})
+    if not use_atoms:
+        result = color_atom(graph, k, preassigned, module_choice, prefer=prefer)
+        _repair_improper_edges(graph, result, set(preassigned))
+        return result
+
+    combined = ColoringResult(k)
+    combined.assignment.update(
+        {v: m for v, m in preassigned.items() if v in graph.nodes}
+    )
+    decomposition = decompose_atoms(graph)
+    # Colour atoms in decomposition (depth-first) order: its
+    # running-intersection property guarantees that the vertices an atom
+    # shares with earlier atoms form one clique, so the pre-assigned
+    # constraints are always mutually consistent and extendable.
+    atoms = [a for a in decomposition.atoms if a.nodes]
+    module_use = [0] * k
+    for atom in atoms:
+        pre = {
+            v: combined.assignment[v]
+            for v in atom.nodes
+            if v in combined.assignment
+        }
+        pre.update(
+            {v: m for v, m in preassigned.items() if v in atom.nodes}
+        )
+        sub = color_atom(atom, k, pre, module_choice, module_use, prefer)
+        combined.merge(sub)
+    # De-duplicate: a separator vertex removed in one atom but coloured in
+    # another must not be in both lists; colouring wins (its copy exists).
+    combined.unassigned = [
+        v for v in combined.unassigned if v not in combined.assignment
+    ]
+    _repair_improper_edges(graph, combined, set(preassigned))
+    return combined
+
+
+def _repair_improper_edges(
+    graph: ConflictGraph, result: ColoringResult, caller_fixed: set[int]
+) -> None:
+    """Demote one endpoint of every improperly coloured edge.
+
+    Two sources of clashes: (a) two separator vertices coloured in
+    atoms that do not contain their edge (the atom composition is
+    constraint-based, not permutation-based, so a vertex of a high
+    separator can meet a vertex of a low one uncoloured-together);
+    (b) caller pre-assignments from an earlier STOR phase that conflict
+    outright.  Removal is always sound — the node joins ``V_unassigned``
+    and the duplication stage resolves it, exactly the Fig. 2 framework.
+    Preference: demote a non-pre-assigned endpoint (pre-assigned nodes
+    already hold storage from an earlier phase); ties demote the larger
+    node id.
+    """
+    for u, v in sorted(graph.edges()):
+        cu = result.assignment.get(u)
+        cv = result.assignment.get(v)
+        if cu is None or cv is None or cu != cv:
+            continue
+        u_fixed, v_fixed = u in caller_fixed, v in caller_fixed
+        if u_fixed and not v_fixed:
+            demote = v
+        elif v_fixed and not u_fixed:
+            demote = u
+        else:
+            demote = max(u, v)
+        del result.assignment[demote]
+        result.unassigned.append(demote)
+        result.trace.append(
+            ColoringStep(demote, 0, 0, "removed", None)
+        )

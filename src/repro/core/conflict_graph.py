@@ -1,0 +1,151 @@
+"""The access conflict graph (paper §2).
+
+Nodes are data values; an edge joins two values that appear as operands
+of the same (long) instruction; ``conf(u, v)`` counts in how many
+instructions the pair co-occurs — the edge weight base used by the
+colouring heuristic of Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+def _edge(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass(slots=True)
+class ConflictGraph:
+    """Undirected conflict graph with co-occurrence counts."""
+
+    nodes: set[int] = field(default_factory=set)
+    adj: dict[int, set[int]] = field(default_factory=dict)
+    conf: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: the operand sets the graph was built from, in order
+    instructions: list[frozenset[int]] = field(default_factory=list)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_operand_sets(
+        cls,
+        operand_sets: Iterable[Iterable[int]],
+        weights: Iterable[int] | None = None,
+    ) -> "ConflictGraph":
+        """Build a graph; optional per-instruction ``weights`` (e.g.
+        profiled execution frequencies) scale the conf counts, which is
+        the paper's closing suggestion for frequency-guided
+        distribution."""
+        graph = cls()
+        if weights is None:
+            for operands in operand_sets:
+                graph.add_instruction(operands)
+        else:
+            for operands, w in zip(operand_sets, weights):
+                graph.add_instruction(operands, w)
+        return graph
+
+    def add_node(self, v: int) -> None:
+        if v not in self.nodes:
+            self.nodes.add(v)
+            self.adj[v] = set()
+
+    def add_instruction(self, operands: Iterable[int], weight: int = 1) -> None:
+        """Record one instruction's operand set (pairwise conflicts),
+        counting it ``weight`` times."""
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        ops = frozenset(operands)
+        self.instructions.append(ops)
+        for v in ops:
+            self.add_node(v)
+        if weight == 0:
+            return
+        ops_sorted = sorted(ops)
+        for i, u in enumerate(ops_sorted):
+            for v in ops_sorted[i + 1 :]:
+                self.adj[u].add(v)
+                self.adj[v].add(u)
+                key = _edge(u, v)
+                self.conf[key] = self.conf.get(key, 0) + weight
+
+    # -- queries ------------------------------------------------------------
+
+    def degree(self, v: int) -> int:
+        return len(self.adj[v])
+
+    def neighbors(self, v: int) -> set[int]:
+        return self.adj[v]
+
+    def conflict_count(self, u: int, v: int) -> int:
+        """conf(u, v): number of instructions using both u and v."""
+        return self.conf.get(_edge(u, v), 0)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return _edge(u, v) in self.conf
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        return iter(self.conf.keys())
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.conf)
+
+    def is_clique(self, vertices: Iterable[int]) -> bool:
+        vs = list(vertices)
+        for i, u in enumerate(vs):
+            for v in vs[i + 1 :]:
+                if v not in self.adj[u]:
+                    return False
+        return True
+
+    def subgraph(
+        self, vertices: Iterable[int], with_instructions: bool = False
+    ) -> "ConflictGraph":
+        """Induced subgraph with ``conf`` counts restricted to the kept
+        vertices.  The (potentially long) instruction list is projected
+        only when ``with_instructions`` is set — colouring needs just the
+        adjacency and counts."""
+        keep = {v for v in vertices if v in self.nodes}
+        sub = ConflictGraph()
+        for v in keep:
+            sub.add_node(v)
+        for u in keep:
+            for v in self.adj[u]:
+                if u < v and v in keep:
+                    sub.adj[u].add(v)
+                    sub.adj[v].add(u)
+                    sub.conf[(u, v)] = self.conf[(u, v)]
+        if with_instructions:
+            for ops in self.instructions:
+                projected = ops & keep
+                if projected:
+                    sub.instructions.append(projected)
+        return sub
+
+    def components(self) -> list[set[int]]:
+        """Connected components, each sorted-deterministic."""
+        seen: set[int] = set()
+        out: list[set[int]] = []
+        for start in sorted(self.nodes):
+            if start in seen:
+                continue
+            comp: set[int] = set()
+            stack = [start]
+            while stack:
+                v = stack.pop()
+                if v in comp:
+                    continue
+                comp.add(v)
+                stack.extend(self.adj[v] - comp)
+            seen |= comp
+            out.append(comp)
+        return out
+
+    def __contains__(self, v: int) -> bool:
+        return v in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)

@@ -1,0 +1,172 @@
+"""Exact (exponential-time) reference algorithms.
+
+These are *not* part of the paper's compiler — they exist so the test
+suite and the worst-case benchmarks can compare the paper's heuristics
+against optimal answers on small instances:
+
+- :func:`is_k_colorable` / :func:`exact_coloring` — backtracking k-colouring;
+- :func:`min_removal_coloring` — fewest nodes to remove so the rest is
+  k-colourable (the optimum the Fig. 4 heuristic approximates);
+- :func:`min_hitting_set` — minimum-cardinality hitting set (the optimum
+  of the Fig. 9 heuristic);
+- :func:`min_total_copies` — smallest total number of copies achieving a
+  conflict-free allocation (global optimum for tiny figure examples).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from .allocation import Allocation
+from .conflict_graph import ConflictGraph
+from .verify import sdr_exists
+
+
+def exact_coloring(
+    graph: ConflictGraph, k: int, nodes: Sequence[int] | None = None
+) -> dict[int, int] | None:
+    """A proper k-colouring by backtracking, or None.
+
+    Nodes are tried in decreasing-degree order with symmetry breaking
+    (a new colour index may be used only after all lower ones appear).
+    """
+    order = sorted(
+        graph.nodes if nodes is None else nodes,
+        key=lambda v: (-graph.degree(v), v),
+    )
+    assignment: dict[int, int] = {}
+
+    def backtrack(i: int, used: int) -> bool:
+        if i == len(order):
+            return True
+        v = order[i]
+        taken = {
+            assignment[u] for u in graph.adj[v] if u in assignment
+        }
+        limit = min(k, used + 1)
+        for c in range(limit):
+            if c in taken:
+                continue
+            assignment[v] = c
+            if backtrack(i + 1, max(used, c + 1)):
+                return True
+            del assignment[v]
+        return False
+
+    if backtrack(0, 0):
+        return dict(assignment)
+    return None
+
+
+def is_k_colorable(graph: ConflictGraph, k: int) -> bool:
+    return exact_coloring(graph, k) is not None
+
+
+def min_removal_coloring(
+    graph: ConflictGraph, k: int
+) -> tuple[set[int], dict[int, int]]:
+    """Smallest node set whose removal leaves the graph k-colourable,
+    with a colouring of the remainder.  Exponential; small graphs only."""
+    nodes = sorted(graph.nodes)
+    for r in range(len(nodes) + 1):
+        for removed in combinations(nodes, r):
+            rest = [v for v in nodes if v not in removed]
+            sub = graph.subgraph(rest)
+            coloring = exact_coloring(sub, k)
+            if coloring is not None:
+                return set(removed), coloring
+    return set(nodes), {}  # pragma: no cover
+
+
+def min_hitting_set(
+    sets: Sequence[Iterable[int]],
+) -> set[int]:
+    """Minimum-cardinality hitting set by branch and bound."""
+    families = [frozenset(s) for s in sets if s]
+    if not families:
+        return set()
+    universe = sorted(set().union(*families))
+    best: set[int] | None = None
+
+    def branch(chosen: set[int], remaining: list[frozenset[int]]) -> None:
+        nonlocal best
+        if best is not None and len(chosen) >= len(best):
+            return
+        unhit = [s for s in remaining if not (s & chosen)]
+        if not unhit:
+            best = set(chosen)
+            return
+        # Branch on the elements of the smallest unhit set.
+        target = min(unhit, key=len)
+        for elem in sorted(target):
+            branch(chosen | {elem}, unhit)
+
+    branch(set(), families)
+    assert best is not None
+    _ = universe  # kept for clarity; universe bounds the search space
+    return best
+
+
+def min_total_copies(
+    operand_sets: Sequence[Iterable[int]], k: int, max_extra: int = 6
+) -> Allocation | None:
+    """Globally optimal allocation: fewest total copies such that every
+    instruction is conflict-free.  Brute force over copy budgets, for the
+    worked examples of the paper's figures (a handful of values).
+    """
+    instructions = [frozenset(s) for s in operand_sets]
+    values = sorted(set().union(*instructions)) if instructions else []
+    if not values:
+        return Allocation(k)
+
+    module_sets = [
+        frozenset(c)
+        for size in range(1, k + 1)
+        for c in combinations(range(k), size)
+    ]
+
+    def feasible(assign: dict[int, frozenset[int]]) -> bool:
+        return all(
+            sdr_exists([assign[v] for v in instr]) for instr in instructions
+        )
+
+    # Iterative deepening on total copies.
+    for total in range(len(values), len(values) + max_extra + 1):
+        found = _search_copies(values, module_sets, total, feasible, {}, 0)
+        if found is not None:
+            alloc = Allocation(k)
+            for v in values:
+                for m in sorted(found[v]):
+                    alloc.add_copy(v, m)
+            return alloc
+    return None
+
+
+def _search_copies(
+    values: Sequence[int],
+    module_sets: Sequence[frozenset[int]],
+    budget: int,
+    feasible,
+    partial: dict[int, frozenset[int]],
+    index: int,
+) -> dict[int, frozenset[int]] | None:
+    remaining = len(values) - index
+    if budget < remaining:
+        return None
+    if index == len(values):
+        return dict(partial) if feasible(partial) else None
+    v = values[index]
+    # Try smaller copy-sets first so the first solution found is minimal
+    # for this budget split.
+    for ms in sorted(module_sets, key=lambda s: (len(s), sorted(s))):
+        if len(ms) > budget - (remaining - 1):
+            continue
+        partial[v] = ms
+        found = _search_copies(
+            values, module_sets, budget - len(ms), feasible, partial, index + 1
+        )
+        if found is not None:
+            return found
+    del partial[v]
+    return None

@@ -1,0 +1,84 @@
+"""Hitting-set heuristics for the duplication phase (paper Fig. 9).
+
+Each unresolved operand combination yields the set of values whose
+duplication would fix it; one value from every set must receive an
+additional copy.  The minimum-cardinality choice is the NP-complete
+hitting-set problem, so the paper uses the one-pass heuristic of Fig. 9:
+
+- all singleton sets are forced into the hitting set;
+- sets are then processed by increasing size; an unhit set contributes
+  the element with the lexicographically largest occurrence vector
+  ``(S[v, size], S[v, size+1], ..., S[v, k])`` where ``S[v, p]`` counts
+  the sets of size p containing v.
+
+:func:`greedy_hitting_set` is the textbook H_m-approximate greedy
+(re-scoring after every pick), provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _occurrence_counts(
+    families: Sequence[frozenset[int]], k: int
+) -> dict[int, list[int]]:
+    """S[v][p] = number of sets of cardinality p containing v (p <= k)."""
+    counts: dict[int, list[int]] = {}
+    for s in families:
+        p = len(s)
+        for v in s:
+            row = counts.setdefault(v, [0] * (k + 1))
+            if p <= k:
+                row[p] += 1
+    return counts
+
+
+def paper_hitting_set(
+    sets: Iterable[Iterable[int]], k: int
+) -> set[int]:
+    """The Fig. 9 heuristic.
+
+    ``k`` bounds set cardinality (the number of memory modules); larger
+    sets are rejected.  Ties in the occurrence-vector comparison break
+    toward the smallest value id for determinism.
+    """
+    families = [frozenset(s) for s in sets]
+    for s in families:
+        if not 1 <= len(s) <= k:
+            raise ValueError(f"set size {len(s)} outside [1, {k}]")
+
+    counts = _occurrence_counts(families, k)
+    hitting: set[int] = {v for s in families if len(s) == 1 for v in s}
+
+    for size in range(2, k + 1):
+        for s in families:
+            if len(s) != size or s & hitting:
+                continue
+            # Fig. 9's comparison: lexicographic on (S[v,size..k]).
+            def vector(v: int) -> tuple[int, ...]:
+                return tuple(counts[v][size : k + 1])
+
+            best = max(sorted(s), key=lambda v: (vector(v), -v))
+            hitting.add(best)
+    return hitting
+
+
+def greedy_hitting_set(sets: Iterable[Iterable[int]]) -> set[int]:
+    """Classic greedy: repeatedly pick the element hitting the most
+    not-yet-hit sets (ties toward the smallest id)."""
+    remaining = [frozenset(s) for s in sets if s]
+    hitting: set[int] = set()
+    while remaining:
+        coverage: dict[int, int] = {}
+        for s in remaining:
+            for v in s:
+                coverage[v] = coverage.get(v, 0) + 1
+        best = max(sorted(coverage), key=lambda v: (coverage[v], -v))
+        hitting.add(best)
+        remaining = [s for s in remaining if best not in s]
+    return hitting
+
+
+def is_hitting_set(sets: Iterable[Iterable[int]], candidate: set[int]) -> bool:
+    return all(set(s) & candidate for s in sets)

@@ -1,0 +1,132 @@
+"""Placement of value copies into memory modules (paper Fig. 10).
+
+Given values that must receive one (additional) copy each, choose the
+module for each copy so the maximum number of still-conflicting
+instructions becomes conflict free:
+
+- instructions are grouped by how many of their operands are duplicable
+  (the paper's I_1 ... I_k: I_1 — one duplicable operand, hence exactly
+  one way to fix it — is the most constrained and scores first);
+- values are processed in decreasing involvement in I_1 conflicts (then
+  I_2, ...);
+- for a value v, module M_x scores the vector
+  ``(C[M_x, I_1](v), ..., C[M_x, I_k](v))`` — the number of conflicting
+  instructions per group that a copy of v at M_x would fix — and the
+  lexicographically largest vector wins; remaining ties go to a seeded
+  random choice (the paper: "a random choice is made") or the lowest
+  module index, per ``tie_break``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from .allocation import Allocation
+from .verify import instruction_conflict_free, sdr_exists
+
+
+def group_instructions(
+    operand_sets: Sequence[frozenset[int]],
+    duplicable: set[int],
+    k: int,
+) -> dict[int, list[frozenset[int]]]:
+    """Paper Fig. 10: I_y = instructions with y duplicable operands."""
+    groups: dict[int, list[frozenset[int]]] = {y: [] for y in range(1, k + 1)}
+    for ops in operand_sets:
+        y = len(ops & duplicable)
+        if 1 <= y <= k:
+            groups[y].append(ops)
+    return groups
+
+
+def _fix_score(
+    value: int,
+    module: int,
+    conflicting: Iterable[frozenset[int]],
+    alloc: Allocation,
+) -> int:
+    """How many of the given conflicting instructions become conflict
+    free if a copy of ``value`` is placed in ``module``."""
+    base = alloc.modules(value)
+    if module in base:
+        return 0
+    augmented = base | {module}
+    fixed = 0
+    for ops in conflicting:
+        if value not in ops:
+            continue
+        sets = [
+            augmented if v == value else alloc.modules(v) for v in ops
+        ]
+        if all(sets) and sdr_exists(sets):
+            fixed += 1
+    return fixed
+
+
+def place_copies(
+    values: Iterable[int],
+    alloc: Allocation,
+    operand_sets: Sequence[frozenset[int]],
+    duplicable: set[int],
+    rng: random.Random | None = None,
+    tie_break: str = "random",
+) -> None:
+    """Place one copy of each value per Fig. 10, mutating ``alloc``.
+
+    ``operand_sets`` is the full instruction list; conflicts are
+    re-evaluated against the evolving allocation as copies land.
+    """
+    k = alloc.k
+    rng = rng or random.Random(0)
+    groups = group_instructions(operand_sets, duplicable, k)
+
+    # Order the values once, up front (Fig. 10: "The order is determined
+    # by counting the number of instructions in the first group that
+    # involve each of the variables", falling back to later groups).
+    initial_conflicting: dict[int, list[frozenset[int]]] = {
+        y: [
+            ops
+            for ops in groups[y]
+            if not instruction_conflict_free(ops, alloc)
+        ]
+        for y in range(1, k + 1)
+    }
+
+    def involvement(v: int) -> tuple[int, ...]:
+        return tuple(
+            sum(1 for ops in initial_conflicting[y] if v in ops)
+            for y in range(1, k + 1)
+        )
+
+    ordered = sorted(set(values), key=lambda v: (involvement(v), -v), reverse=True)
+
+    for v in ordered:
+        candidates = [m for m in range(k) if m not in alloc.modules(v)]
+        if not candidates:
+            continue  # v already everywhere
+        # Only instructions containing v can be fixed by a copy of v;
+        # restrict the (re-evaluated) conflict scan accordingly.
+        relevant: dict[int, list[frozenset[int]]] = {
+            y: [
+                ops
+                for ops in groups[y]
+                if v in ops and not instruction_conflict_free(ops, alloc)
+            ]
+            for y in range(1, k + 1)
+        }
+        score: dict[int, tuple[int, ...]] = {}
+        for m in candidates:
+            score[m] = tuple(
+                _fix_score(v, m, relevant[y], alloc)
+                for y in range(1, k + 1)
+            )
+        best_vec = max(score.values())
+        best_modules = [m for m in candidates if score[m] == best_vec]
+        if len(best_modules) == 1 or tie_break == "first":
+            chosen = best_modules[0]
+        elif tie_break == "random":
+            chosen = rng.choice(best_modules)
+        else:
+            raise ValueError(f"unknown tie_break {tie_break!r}")
+        alloc.add_copy(v, chosen)

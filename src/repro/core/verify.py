@@ -1,0 +1,143 @@
+"""Conflict-freedom checks via systems of distinct representatives.
+
+With multiple copies, an instruction is free of memory access conflicts
+iff its operands can be served from pairwise-distinct modules — i.e. the
+family of copy-sets admits a system of distinct representatives (SDR).
+We check this with augmenting-path bipartite matching (operand -> module);
+instruction widths are at most k, so the tiny-Kuhn implementation is
+exact and fast.
+
+:func:`min_max_load` generalises the check to the paper's timing model:
+the smallest L such that operands can be served with at most L accesses
+to any one module — the instruction's fetch phase then costs ``L * Δ``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .allocation import Allocation
+
+
+def find_sdr(module_sets: Sequence[Iterable[int]]) -> list[int] | None:
+    """Distinct representatives for the given sets, or None.
+
+    Returns one module per set, all distinct, with ``result[i]`` drawn
+    from ``module_sets[i]``; ties resolved deterministically.
+    """
+    sets = [sorted(set(s)) for s in module_sets]
+    match_of_module: dict[int, int] = {}  # module -> operand index
+
+    def try_assign(i: int, visited: set[int]) -> bool:
+        for m in sets[i]:
+            if m in visited:
+                continue
+            visited.add(m)
+            if m not in match_of_module or try_assign(
+                match_of_module[m], visited
+            ):
+                match_of_module[m] = i
+                return True
+        return False
+
+    for i in range(len(sets)):
+        if not sets[i]:
+            return None
+        if not try_assign(i, set()):
+            return None
+
+    result = [-1] * len(sets)
+    for m, i in match_of_module.items():
+        result[i] = m
+    return result
+
+
+def sdr_exists(module_sets: Sequence[Iterable[int]]) -> bool:
+    return find_sdr(module_sets) is not None
+
+
+def min_max_load(module_sets: Sequence[Iterable[int]]) -> int:
+    """Smallest L such that each set can pick a module with no module
+    picked more than L times.  Raises ValueError on an empty set
+    (an unplaced operand can never be fetched)."""
+    sets = [sorted(set(s)) for s in module_sets]
+    if not sets:
+        return 0
+    if any(not s for s in sets):
+        raise ValueError("operand with no copies cannot be fetched")
+
+    n = len(sets)
+    for load in range(1, n + 1):
+        # b-matching with module capacity `load`, via slot expansion.
+        match_of_slot: dict[tuple[int, int], int] = {}
+
+        def try_assign(i: int, visited: set[tuple[int, int]]) -> bool:
+            for m in sets[i]:
+                for c in range(load):
+                    slot = (m, c)
+                    if slot in visited:
+                        continue
+                    visited.add(slot)
+                    if slot not in match_of_slot or try_assign(
+                        match_of_slot[slot], visited
+                    ):
+                        match_of_slot[slot] = i
+                        return True
+            return False
+
+        if all(try_assign(i, set()) for i in range(n)):
+            return load
+    return n  # pragma: no cover - load == n always feasible
+
+
+# --------------------------------------------------------------------------
+# Allocation-level checks
+# --------------------------------------------------------------------------
+
+
+def instruction_conflict_free(
+    operands: Iterable[int], alloc: Allocation
+) -> bool:
+    """True iff the instruction's operand copy-sets admit an SDR."""
+    sets = [alloc.modules(v) for v in set(operands)]
+    if any(not s for s in sets):
+        return False
+    return sdr_exists(sets)
+
+
+def conflicting_instructions(
+    operand_sets: Iterable[Iterable[int]], alloc: Allocation
+) -> list[frozenset[int]]:
+    """Instructions that still have a memory access conflict."""
+    return [
+        frozenset(ops)
+        for ops in operand_sets
+        if not instruction_conflict_free(ops, alloc)
+    ]
+
+
+def verify_allocation(
+    operand_sets: Iterable[Iterable[int]], alloc: Allocation
+) -> bool:
+    """True iff every instruction is conflict free under ``alloc``."""
+    return not conflicting_instructions(operand_sets, alloc)
+
+
+def combination_conflict_free(
+    combo: Iterable[int], alloc: Allocation
+) -> bool:
+    """Paper §2.2.2: conflict-freedom of an operand *combination*.
+
+    Identical to the instruction check; a combination is a subset of some
+    instruction's operands.
+    """
+    return instruction_conflict_free(combo, alloc)
+
+
+def instruction_fetch_load(operands: Iterable[int], alloc: Allocation) -> int:
+    """Max accesses any one module serves for this instruction, assuming
+    the fetch unit picks copies optimally (paper's Δ-model)."""
+    sets = [alloc.modules(v) for v in set(operands)]
+    if not sets:
+        return 0
+    return min_max_load(sets)

@@ -1,0 +1,356 @@
+"""Lowering from the type-checked AST to linear TAC.
+
+Lowering decisions (documented because they shape the conflict graphs the
+core algorithms later see):
+
+- every compiler temporary is fresh (single definition), matching the
+  paper's "each definition creates a distinct data value" discipline;
+- ``and``/``or`` are strict (no short-circuit), as in 1988-era compilers
+  for lock-step machines — both operands are evaluated, then combined;
+- ``for`` bounds are evaluated once into temporaries before the loop;
+- implicit ``int`` -> ``real`` conversions are materialised as
+  ``float`` unary instructions.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast_nodes as ast
+from ..lang.errors import SemanticError
+from ..lang.sema import analyze
+from ..lang.parser import parse
+from . import tac
+
+_BINOP_CODE = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "div": "idiv",
+    "mod": "imod",
+    "=": "eq",
+    "<>": "ne",
+    "<": "lt",
+    "<=": "le",
+    ">": "gt",
+    ">=": "ge",
+    "and": "and",
+    "or": "or",
+}
+
+_INTRINSIC_UNARY = {
+    "abs": "abs",
+    "sqrt": "sqrt",
+    "sin": "sin",
+    "cos": "cos",
+    "exp": "exp",
+    "ln": "ln",
+    "trunc": "trunc",
+    "float": "float",
+}
+
+_INTRINSIC_BINARY = {"min": "min", "max": "max"}
+
+
+class TacBuilder:
+    """Lowers the AST; see :func:`lower_ast`.
+
+    When ``constants_in_memory`` is set, literals that do not fit the
+    machine's immediate fields (integers with ``|v| > immediate_limit``
+    and all reals) are interned as memory-resident constant symbols
+    (``%c0``, ``%c1``, ...) recorded in the program's ``const_table`` —
+    they then take part in storage assignment like any other read-only
+    data value, as on real LIW machines with narrow immediate fields.
+    """
+
+    def __init__(
+        self,
+        program: ast.Program,
+        constants_in_memory: bool = False,
+        immediate_limit: int = 15,
+    ):
+        self._ast = program
+        self._out: list[tac.TacInstr] = []
+        self._temp_count = 0
+        self._label_count = 0
+        # (break_label, continue_label) stack for loops
+        self._loops: list[tuple[str, str]] = []
+        self._constants_in_memory = constants_in_memory
+        self._immediate_limit = immediate_limit
+        self._const_syms: dict[int | float | bool, tac.Sym] = {}
+        self._const_table: dict[str, int | float | bool] = {}
+
+    # -- helpers --------------------------------------------------------
+
+    def _temp(self) -> tac.Sym:
+        self._temp_count += 1
+        return tac.Sym(f"%t{self._temp_count}")
+
+    def _const(self, value: int | float | bool) -> tac.Operand:
+        """A constant operand: an immediate when it fits, else a
+        memory-resident constant symbol."""
+        if not self._constants_in_memory:
+            return tac.Const(value)
+        if isinstance(value, bool):
+            return tac.Const(value)  # conditions use flag fields
+        if isinstance(value, int) and abs(value) <= self._immediate_limit:
+            return tac.Const(value)
+        key = (type(value).__name__, value)
+        sym = self._const_syms.get(key)  # type: ignore[arg-type]
+        if sym is None:
+            sym = tac.Sym(f"%c{len(self._const_syms)}")
+            self._const_syms[key] = sym  # type: ignore[index]
+            self._const_table[sym.name] = value
+        return sym
+
+    def _label(self, hint: str) -> str:
+        self._label_count += 1
+        return f".{hint}{self._label_count}"
+
+    def _emit(self, instr: tac.TacInstr) -> None:
+        self._out.append(instr)
+
+    def _emit_label(self, name: str) -> None:
+        self._out.append(tac.Label(name))
+
+    # -- entry point ------------------------------------------------------
+
+    def build(self) -> tac.TacProgram:
+        prog = tac.TacProgram(name=self._ast.name)
+        for decl in self._ast.decls:
+            for name in decl.names:
+                if decl.type.is_array:
+                    prog.arrays[name] = tac.ArrayInfo(
+                        name, decl.type.array_size, str(decl.type.base)
+                    )
+                else:
+                    prog.scalars.append(name)
+        self._stmt(self._ast.body)
+        self._emit(tac.Halt())
+        prog.instrs = self._out
+        prog.const_table = dict(self._const_table)
+        # Constant symbols are initialised data: they need entry
+        # definitions like declared variables.
+        prog.scalars.extend(self._const_table)
+        return prog
+
+    # -- statements ---------------------------------------------------------
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.body:
+                self._stmt(child)
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Write):
+            value = self._expr(stmt.value)
+            self._emit(tac.WriteOut(value))
+        elif isinstance(stmt, ast.Read):
+            if isinstance(stmt.target, ast.VarRef):
+                self._emit(tac.ReadIn(tac.Sym(stmt.target.name)))
+            else:
+                assert isinstance(stmt.target, ast.IndexRef)
+                index = self._expr(stmt.target.index)
+                self._emit(tac.ReadArr(stmt.target.name, index))
+        elif isinstance(stmt, ast.Break):
+            if not self._loops:
+                raise SemanticError("break outside loop", stmt.location)
+            self._emit(tac.Jump(self._loops[-1][0]))
+        elif isinstance(stmt, ast.Continue):
+            if not self._loops:
+                raise SemanticError("continue outside loop", stmt.location)
+            self._emit(tac.Jump(self._loops[-1][1]))
+        else:  # pragma: no cover
+            raise SemanticError(
+                f"cannot lower {type(stmt).__name__}", stmt.location
+            )
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        value = self._expr(stmt.value)
+        if isinstance(stmt.target, ast.VarRef):
+            value = self._coerce(value, stmt.value.type, stmt.target.type)
+            dest = tac.Sym(stmt.target.name)
+            self._emit(tac.Unary(dest, "copy", value))
+        else:
+            assert isinstance(stmt.target, ast.IndexRef)
+            value = self._coerce(value, stmt.value.type, stmt.target.type)
+            index = self._expr(stmt.target.index)
+            self._emit(tac.Store(stmt.target.name, index, value))
+
+    def _coerce(
+        self,
+        operand: tac.Operand,
+        from_type: ast.Type | None,
+        to_type: ast.Type | None,
+    ) -> tac.Operand:
+        if from_type == ast.INT and to_type == ast.REAL:
+            if isinstance(operand, tac.Const):
+                return self._const(float(operand.value))
+            dest = self._temp()
+            self._emit(tac.Unary(dest, "float", operand))
+            return dest
+        return operand
+
+    def _if(self, stmt: ast.If) -> None:
+        cond = self._expr(stmt.cond)
+        then_label = self._label("then")
+        end_label = self._label("endif")
+        else_label = self._label("else") if stmt.else_body else end_label
+        self._emit(tac.CJump(cond, then_label, else_label))
+        self._emit_label(then_label)
+        self._stmt(stmt.then_body)
+        if stmt.else_body is not None:
+            self._emit(tac.Jump(end_label))
+            self._emit_label(else_label)
+            self._stmt(stmt.else_body)
+        self._emit_label(end_label)
+
+    def _while(self, stmt: ast.While) -> None:
+        head = self._label("while")
+        body = self._label("body")
+        exit_ = self._label("endwhile")
+        self._emit_label(head)
+        cond = self._expr(stmt.cond)
+        self._emit(tac.CJump(cond, body, exit_))
+        self._emit_label(body)
+        self._loops.append((exit_, head))
+        self._stmt(stmt.body)
+        self._loops.pop()
+        self._emit(tac.Jump(head))
+        self._emit_label(exit_)
+
+    def _for(self, stmt: ast.For) -> None:
+        var = tac.Sym(stmt.var)
+        start = self._expr(stmt.start)
+        # The bound is evaluated once, into a temp unless it is already
+        # stable (an immediate or a read-only constant symbol).
+        stop = self._expr(stmt.stop)
+        stable = isinstance(stop, tac.Const) or (
+            isinstance(stop, tac.Sym) and stop.name in self._const_table
+        )
+        if not stable:
+            bound = self._temp()
+            self._emit(tac.Unary(bound, "copy", stop))
+            stop = bound
+        self._emit(tac.Unary(var, "copy", start))
+        head = self._label("for")
+        body = self._label("body")
+        cont = self._label("next")
+        exit_ = self._label("endfor")
+        self._emit_label(head)
+        cond = self._temp()
+        cmp_op = "ge" if stmt.downto else "le"
+        self._emit(tac.Binary(cond, cmp_op, var, stop))
+        self._emit(tac.CJump(cond, body, exit_))
+        self._emit_label(body)
+        self._loops.append((exit_, cont))
+        self._stmt(stmt.body)
+        self._loops.pop()
+        self._emit_label(cont)
+        step_op = "sub" if stmt.downto else "add"
+        self._emit(tac.Binary(var, step_op, var, self._const(1)))
+        self._emit(tac.Jump(head))
+        self._emit_label(exit_)
+
+    # -- expressions ----------------------------------------------------
+
+    def _expr(self, expr: ast.Expr) -> tac.Operand:
+        if isinstance(expr, ast.IntLit):
+            return self._const(expr.value)
+        if isinstance(expr, ast.RealLit):
+            return self._const(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return tac.Const(expr.value)
+        if isinstance(expr, ast.VarRef):
+            return tac.Sym(expr.name)
+        if isinstance(expr, ast.IndexRef):
+            index = self._expr(expr.index)
+            dest = self._temp()
+            self._emit(tac.Load(dest, expr.name, index))
+            return dest
+        if isinstance(expr, ast.UnaryOp):
+            return self._unary(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary(expr)
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        raise SemanticError(  # pragma: no cover
+            f"cannot lower {type(expr).__name__}", expr.location
+        )
+
+    def _unary(self, expr: ast.UnaryOp) -> tac.Operand:
+        # Fold negated literals before lowering so "-6.28" is a single
+        # constant (immediate or one memory-resident value), not a
+        # run-time negation in a loop.
+        if expr.op == "-" and isinstance(expr.operand, (ast.IntLit, ast.RealLit)):
+            return self._const(-expr.operand.value)
+        operand = self._expr(expr.operand)
+        if expr.op == "+":
+            return operand
+        if isinstance(operand, tac.Const) and expr.op == "-":
+            return tac.Const(-operand.value)
+        dest = self._temp()
+        code = "neg" if expr.op == "-" else "not"
+        self._emit(tac.Unary(dest, code, operand))
+        return dest
+
+    def _binary(self, expr: ast.BinaryOp) -> tac.Operand:
+        left = self._expr(expr.left)
+        right = self._expr(expr.right)
+        # Widen mixed int/real arithmetic and comparisons.
+        lt, rt = expr.left.type, expr.right.type
+        if lt == ast.INT and rt == ast.REAL:
+            left = self._coerce(left, lt, rt)
+        elif lt == ast.REAL and rt == ast.INT:
+            right = self._coerce(right, rt, lt)
+        elif expr.op == "/":
+            left = self._coerce(left, lt, ast.REAL)
+            right = self._coerce(right, rt, ast.REAL)
+        dest = self._temp()
+        self._emit(tac.Binary(dest, _BINOP_CODE[expr.op], left, right))
+        return dest
+
+    def _call(self, expr: ast.Call) -> tac.Operand:
+        args = [self._expr(a) for a in expr.args]
+        # Intrinsics whose parameter type is fixed real widen int arguments.
+        from ..lang.sema import INTRINSICS
+
+        spec, _ = INTRINSICS[expr.name]
+        for i, (want, node) in enumerate(zip(spec, expr.args)):
+            if want is ast.BaseType.REAL and node.type == ast.INT:
+                args[i] = self._coerce(args[i], ast.INT, ast.REAL)
+        dest = self._temp()
+        if expr.name in _INTRINSIC_UNARY:
+            self._emit(tac.Unary(dest, _INTRINSIC_UNARY[expr.name], args[0]))
+        elif expr.name in _INTRINSIC_BINARY:
+            self._emit(
+                tac.Binary(dest, _INTRINSIC_BINARY[expr.name], args[0], args[1])
+            )
+        else:  # pragma: no cover - sema rejects unknown intrinsics
+            raise SemanticError(f"unknown intrinsic {expr.name}", expr.location)
+        return dest
+
+
+def lower_ast(
+    program: ast.Program,
+    constants_in_memory: bool = False,
+    immediate_limit: int = 15,
+) -> tac.TacProgram:
+    """Lower a type-checked AST to TAC."""
+    return TacBuilder(program, constants_in_memory, immediate_limit).build()
+
+
+def compile_to_tac(
+    source: str,
+    constants_in_memory: bool = False,
+    immediate_limit: int = 15,
+) -> tac.TacProgram:
+    """Front-end convenience: parse, type check, and lower source text."""
+    program = parse(source)
+    analyze(program)
+    return lower_ast(program, constants_in_memory, immediate_limit)

@@ -1,0 +1,202 @@
+"""Classic iterative dataflow analyses over the CFG.
+
+Provides liveness (backward, may) and reaching definitions (forward, may)
+on scalar symbols.  Both are the substrate for renaming
+(:mod:`repro.ir.rename`) and the global/local split of the paper's STOR2
+strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import tac
+from .cfg import Cfg
+
+
+# --------------------------------------------------------------------------
+# Liveness
+# --------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Liveness:
+    """live_in/live_out per block index, over Sym names."""
+
+    live_in: list[set[str]]
+    live_out: list[set[str]]
+
+
+def compute_liveness(cfg: Cfg) -> Liveness:
+    n = len(cfg.blocks)
+    use_b: list[set[str]] = [set() for _ in range(n)]
+    def_b: list[set[str]] = [set() for _ in range(n)]
+    for block in cfg.blocks:
+        seen_def: set[str] = set()
+        for instr in block.instrs:
+            for u in instr.uses():
+                assert isinstance(u, tac.Sym)
+                if u.name not in seen_def:
+                    use_b[block.index].add(u.name)
+            for d in instr.defs():
+                assert isinstance(d, tac.Sym)
+                seen_def.add(d.name)
+        def_b[block.index] = seen_def
+
+    live_in: list[set[str]] = [set() for _ in range(n)]
+    live_out: list[set[str]] = [set() for _ in range(n)]
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            bi = block.index
+            out: set[str] = set()
+            for s in block.succs:
+                out |= live_in[s]
+            inn = use_b[bi] | (out - def_b[bi])
+            if out != live_out[bi] or inn != live_in[bi]:
+                live_out[bi] = out
+                live_in[bi] = inn
+                changed = True
+    return Liveness(live_in, live_out)
+
+
+# --------------------------------------------------------------------------
+# Reaching definitions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DefSite:
+    """One definition of a scalar.  ``block == -1`` marks the entry
+    pseudo-definition that models a variable's initial (uninitialised)
+    storage, so every use has at least one reaching definition."""
+
+    id: int
+    var: str
+    block: int
+    pos: int
+
+    @property
+    def is_entry(self) -> bool:
+        return self.block == -1
+
+
+@dataclass(slots=True)
+class ReachingDefs:
+    """Reaching-definition results.
+
+    ``use_defs`` maps each use site ``(block, pos, var)`` to the ids of
+    definitions that may reach it.
+    """
+
+    defs: list[DefSite]
+    #: per-block reach-in as integer bitmasks over def ids
+    reach_in_masks: list[int]
+    use_defs: dict[tuple[int, int, str], frozenset[int]] = field(
+        default_factory=dict
+    )
+
+    def def_by_id(self, def_id: int) -> DefSite:
+        return self.defs[def_id]
+
+    def reach_in(self, block: int) -> frozenset[int]:
+        """Def ids reaching the top of ``block`` (decoded on demand)."""
+        return _bits(self.reach_in_masks[block])
+
+
+def _bits(mask: int) -> frozenset[int]:
+    out = set()
+    while mask:
+        low = mask & -mask
+        out.add(low.bit_length() - 1)
+        mask ^= low
+    return frozenset(out)
+
+
+def compute_reaching(cfg: Cfg) -> ReachingDefs:
+    """Reaching definitions with integer-bitset dataflow (def sites are
+    bit positions), which keeps the fixpoint fast on unrolled programs
+    with thousands of definitions."""
+    # Enumerate definition sites.  Entry pseudo-defs cover declared
+    # variables only; temporaries are always defined before use.
+    defs: list[DefSite] = []
+    var_mask: dict[str, int] = {}
+
+    def add_def(var: str, block: int, pos: int) -> int:
+        d = DefSite(len(defs), var, block, pos)
+        defs.append(d)
+        var_mask[var] = var_mask.get(var, 0) | (1 << d.id)
+        return d.id
+
+    for var in cfg.scalars:
+        add_def(var, -1, 0)
+    def_at: dict[tuple[int, int], list[int]] = {}
+    for block in cfg.blocks:
+        for pos, instr in enumerate(block.instrs):
+            for d in instr.defs():
+                assert isinstance(d, tac.Sym)
+                def_at.setdefault((block.index, pos), []).append(
+                    add_def(d.name, block.index, pos)
+                )
+
+    n = len(cfg.blocks)
+    gen = [0] * n
+    kill = [0] * n
+    for block in cfg.blocks:
+        bi = block.index
+        latest: dict[str, int] = {}
+        for pos, _ in enumerate(block.instrs):
+            for did in def_at.get((bi, pos), ()):
+                latest[defs[did].var] = did
+        for var, did in latest.items():
+            gen[bi] |= 1 << did
+            kill[bi] |= var_mask[var] & ~(1 << did)
+        # A block that redefines var kills all other defs of var, even the
+        # non-latest defs inside itself (handled by `latest` above).
+
+    entry_mask = 0
+    for d in defs:
+        if d.is_entry:
+            entry_mask |= 1 << d.id
+
+    reach_in = [0] * n
+    reach_out = [0] * n
+    reach_out[0] = gen[0] | (entry_mask & ~kill[0])
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            bi = block.index
+            inn = entry_mask if bi == 0 else 0
+            for p in block.preds:
+                inn |= reach_out[p]
+            out = gen[bi] | (inn & ~kill[bi])
+            if inn != reach_in[bi] or out != reach_out[bi]:
+                reach_in[bi] = inn
+                reach_out[bi] = out
+                changed = True
+
+    result = ReachingDefs(defs, list(reach_in))
+    # Per-use resolution by a forward scan of each block.
+    decode_cache: dict[int, frozenset[int]] = {}
+    for block in cfg.blocks:
+        bi = block.index
+        current: dict[str, int] = {}
+        inn = reach_in[bi]
+        for pos, instr in enumerate(block.instrs):
+            for u in instr.uses():
+                assert isinstance(u, tac.Sym)
+                mask = current.get(u.name)
+                if mask is None:
+                    mask = inn & var_mask.get(u.name, 0)
+                    current[u.name] = mask
+                reaching = decode_cache.get(mask)
+                if reaching is None:
+                    reaching = _bits(mask)
+                    decode_cache[mask] = reaching
+                result.use_defs[(bi, pos, u.name)] = reaching
+            for did in def_at.get((bi, pos), ()):
+                current[defs[did].var] = 1 << did
+    return result

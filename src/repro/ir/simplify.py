@@ -1,0 +1,132 @@
+"""CFG simplification: jump threading and block merging.
+
+The front end's structured lowering leaves label-only blocks and long
+jump chains (every ``end``/``endif`` label becomes a block whose body is
+a single jump).  On a lock-step LIW machine each of those costs a full
+cycle, so the scheduler wants them gone:
+
+- **jump threading** — an edge into a block that only jumps is
+  redirected to the jump's target;
+- **block merging** — a block whose single successor has no other
+  predecessor is fused with it, giving the list scheduler longer
+  straight-line stretches to pack.
+
+Both passes preserve the program's execution order exactly (they remove
+only unconditional control transfers), so interpreter and executor
+outputs are unchanged.
+"""
+
+from __future__ import annotations
+
+from . import tac
+from .cfg import BasicBlock, Cfg
+
+
+def _is_trivial_jump(block: BasicBlock) -> bool:
+    return len(block.instrs) == 1 and isinstance(block.instrs[0], tac.Jump)
+
+
+def thread_jumps(cfg: Cfg) -> Cfg:
+    """Redirect branches through jump-only blocks to their final target."""
+    # Resolve each block to its ultimate non-trivial target.
+    final_target: dict[str, str] = {}
+
+    def resolve(label: str, seen: frozenset[str]) -> str:
+        if label in final_target:
+            return final_target[label]
+        if label in seen:  # jump cycle (infinite loop): leave as is
+            return label
+        block = cfg.block_of_label(label)
+        if _is_trivial_jump(block):
+            target = resolve(
+                block.instrs[0].target, seen | {label}  # type: ignore[attr-defined]
+            )
+        else:
+            target = label
+        final_target[label] = target
+        return target
+
+    for block in cfg.blocks:
+        last = block.instrs[-1]
+        if isinstance(last, tac.Jump):
+            last.target = resolve(last.target, frozenset({block.label}))
+        elif isinstance(last, tac.CJump):
+            last.then_target = resolve(last.then_target, frozenset())
+            last.else_target = resolve(last.else_target, frozenset())
+    return _rebuild(cfg)
+
+
+def merge_blocks(cfg: Cfg) -> Cfg:
+    """Fuse straight-line chains: A ends in a jump to B, B has only A as
+    predecessor — append B's instructions to A."""
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            last = block.instrs[-1]
+            if not isinstance(last, tac.Jump):
+                continue
+            succ = cfg.blocks[block.succs[0]]
+            # Never absorb the entry block (it has an implicit program-
+            # start predecessor) or a self-loop.
+            if succ is block or succ.index == 0 or len(succ.preds) != 1:
+                continue
+            block.instrs = block.instrs[:-1] + succ.instrs
+            succ.instrs = [tac.Halt()]  # unreachable; dropped by rebuild
+            cfg = _rebuild(cfg)
+            changed = True
+            break
+    return cfg
+
+
+def _rebuild(cfg: Cfg) -> Cfg:
+    """Recompute reachability and edges after rewiring."""
+    by_label = {b.label: b for b in cfg.blocks}
+    order: list[BasicBlock] = []
+    seen: set[str] = set()
+    stack = [cfg.blocks[0].label]
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        block = by_label[label]
+        order.append(block)
+        last = block.instrs[-1]
+        if isinstance(last, tac.Jump):
+            stack.append(last.target)
+        elif isinstance(last, tac.CJump):
+            stack.append(last.else_target)
+            stack.append(last.then_target)
+
+    # Stable order: keep original relative order of surviving blocks.
+    surviving = {b.label for b in order}
+    blocks = [b for b in cfg.blocks if b.label in surviving]
+    index_of = {b.label: i for i, b in enumerate(blocks)}
+    for i, b in enumerate(blocks):
+        b.index = i
+        last = b.instrs[-1]
+        if isinstance(last, tac.Jump):
+            b.succs = [index_of[last.target]]
+        elif isinstance(last, tac.CJump):
+            then_i = index_of[last.then_target]
+            else_i = index_of[last.else_target]
+            b.succs = [then_i, else_i] if then_i != else_i else [then_i]
+        else:
+            b.succs = []
+    for b in blocks:
+        b.preds = []
+    for b in blocks:
+        for s in b.succs:
+            blocks[s].preds.append(b.index)
+    return Cfg(cfg.name, blocks, cfg.arrays, cfg.scalars, cfg.const_table)
+
+
+def simplify_cfg(cfg: Cfg) -> Cfg:
+    """Thread jumps, then merge straight-line chains, to fixpoint."""
+    before = -1
+    while before != len(cfg.blocks):
+        before = len(cfg.blocks)
+        cfg = thread_jumps(cfg)
+        cfg = merge_blocks(cfg)
+    return cfg

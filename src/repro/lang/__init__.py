@@ -1,0 +1,23 @@
+"""Front end for the mini source language (lexer, parser, semantic checks)."""
+
+from . import ast_nodes
+from .errors import LangError, LexError, ParseError, SemanticError, SourceLocation
+from .lexer import tokenize
+from .parser import parse, parse_expression
+from .sema import INTRINSICS, Analyzer, SymbolTable, analyze
+
+__all__ = [
+    "ast_nodes",
+    "LangError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "SourceLocation",
+    "tokenize",
+    "parse",
+    "parse_expression",
+    "analyze",
+    "Analyzer",
+    "SymbolTable",
+    "INTRINSICS",
+]

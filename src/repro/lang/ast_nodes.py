@@ -1,0 +1,201 @@
+"""Abstract syntax tree for the mini language.
+
+Nodes are plain dataclasses; expression nodes gain a ``type`` attribute
+(:class:`Type`) during semantic analysis (:mod:`repro.lang.sema`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import SourceLocation
+
+
+class BaseType(enum.Enum):
+    INT = "int"
+    REAL = "real"
+    BOOL = "bool"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Type:
+    """A scalar type, or an array of a scalar element type."""
+
+    base: BaseType
+    array_size: int | None = None  # None => scalar
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_size is not None
+
+    def element(self) -> "Type":
+        if not self.is_array:
+            raise ValueError("element() on a scalar type")
+        return Type(self.base)
+
+    def __str__(self) -> str:
+        if self.is_array:
+            return f"array[{self.array_size}] of {self.base}"
+        return str(self.base)
+
+
+INT = Type(BaseType.INT)
+REAL = Type(BaseType.REAL)
+BOOL = Type(BaseType.BOOL)
+
+
+@dataclass(slots=True)
+class Node:
+    location: SourceLocation
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Expr(Node):
+    """Base class of expressions; ``type`` is filled in by sema."""
+
+    type: Type | None = field(default=None, init=False)
+
+
+@dataclass(slots=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(slots=True)
+class RealLit(Expr):
+    value: float
+
+
+@dataclass(slots=True)
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass(slots=True)
+class VarRef(Expr):
+    """A reference to a scalar variable (or a whole array in sema errors)."""
+
+    name: str
+
+
+@dataclass(slots=True)
+class IndexRef(Expr):
+    """``name[index]`` — reading one array element."""
+
+    name: str
+    index: Expr
+
+
+@dataclass(slots=True)
+class UnaryOp(Expr):
+    op: str  # '-', '+', 'not'
+    operand: Expr
+
+
+@dataclass(slots=True)
+class BinaryOp(Expr):
+    op: str  # + - * / div mod = <> < <= > >= and or
+    left: Expr
+    right: Expr
+
+
+@dataclass(slots=True)
+class Call(Expr):
+    """Intrinsic call such as ``sqrt(x)`` — see sema.INTRINSICS."""
+
+    name: str
+    args: list[Expr]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Stmt(Node):
+    pass
+
+
+@dataclass(slots=True)
+class Assign(Stmt):
+    """``target := value`` where target is VarRef or IndexRef."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass(slots=True)
+class If(Stmt):
+    cond: Expr
+    then_body: Stmt
+    else_body: Stmt | None
+
+
+@dataclass(slots=True)
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass(slots=True)
+class For(Stmt):
+    """``for var := lo to|downto hi do body``; bounds evaluated once."""
+
+    var: str
+    start: Expr
+    stop: Expr
+    downto: bool
+    body: Stmt
+
+
+@dataclass(slots=True)
+class Block(Stmt):
+    body: list[Stmt]
+
+
+@dataclass(slots=True)
+class Write(Stmt):
+    value: Expr
+
+
+@dataclass(slots=True)
+class Read(Stmt):
+    target: Expr  # VarRef or IndexRef
+
+
+@dataclass(slots=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(slots=True)
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Declarations / program
+# --------------------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class VarDecl(Node):
+    names: list[str]
+    type: Type
+
+
+@dataclass(slots=True)
+class Program(Node):
+    name: str
+    decls: list[VarDecl]
+    body: Block

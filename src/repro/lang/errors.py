@@ -1,0 +1,42 @@
+"""Diagnostics for the mini-language front end.
+
+All front-end failures raise :class:`LangError` (or a subclass) carrying a
+source location, so callers can render ``file:line:col`` style messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class SourceLocation:
+    """A (line, column) position in a source string, both 1-based."""
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+class LangError(Exception):
+    """Base class for all front-end errors."""
+
+    def __init__(self, message: str, location: SourceLocation | None = None):
+        self.message = message
+        self.location = location
+        where = f" at {location}" if location is not None else ""
+        super().__init__(f"{message}{where}")
+
+
+class LexError(LangError):
+    """Raised on an unrecognised character or malformed literal."""
+
+
+class ParseError(LangError):
+    """Raised when the token stream does not match the grammar."""
+
+
+class SemanticError(LangError):
+    """Raised on undeclared names, type mismatches, or arity errors."""

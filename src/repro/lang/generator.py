@@ -1,0 +1,277 @@
+"""Random program generator for differential testing.
+
+Generates type-correct, terminating, exception-free mini-language
+programs: every compiler stage (lowering, unrolling, CFG simplification,
+renaming, scheduling, lock-step execution) must agree with the reference
+interpreter on the outputs.  Guarantees by construction:
+
+- all loops are ``for`` loops with literal bounds (≤ 8 iterations,
+  nesting ≤ 2) — termination;
+- ``div``/``mod`` only by non-zero literals — no division by zero;
+- array subscripts are enclosing ``for`` variables whose bounds fit the
+  array, or in-range literals — no bounds errors;
+- loop-carried integers are reduced ``mod 9973`` — no huge-int blowup;
+- real arithmetic avoids ``ln``/``sqrt``/``exp`` and division by
+  variables — no domain errors or inf/nan surprises from the fuzzer's
+  value ranges.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from . import ast_nodes as ast
+from .errors import SourceLocation
+
+_LOC = SourceLocation(0, 0)
+
+ARRAY_SIZE = 8
+MODULUS = 9973
+
+
+@dataclass
+class _Scope:
+    """What the generator may currently reference.
+
+    ``int_vars`` are readable; ``assignable_ints`` excludes active loop
+    variables (assigning a loop variable would break both termination
+    and the in-range-subscript guarantee).
+    """
+
+    int_vars: list[str]
+    real_vars: list[str]
+    arrays: list[str]
+    #: for variables currently usable as array subscripts
+    index_vars: list[str] = field(default_factory=list)
+    loop_depth: int = 0
+    assignable_ints: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.assignable_ints:
+            self.assignable_ints = [
+                v for v in self.int_vars if v not in self.index_vars
+            ]
+
+
+class ProgramGenerator:
+    def __init__(self, seed: int, max_statements: int = 12):
+        self.rng = random.Random(seed)
+        self.max_statements = max_statements
+        self._loop_var_count = 0
+
+    # -- expressions ----------------------------------------------------
+
+    def int_expr(self, scope: _Scope, depth: int = 0) -> ast.Expr:
+        rng = self.rng
+        if depth >= 3 or rng.random() < 0.35:
+            choices = ["lit"]
+            if scope.int_vars:
+                choices += ["var", "var"]
+            if scope.arrays and scope.index_vars:
+                choices.append("array")
+            kind = rng.choice(choices)
+            if kind == "lit":
+                return ast.IntLit(_LOC, rng.randint(-20, 20))
+            if kind == "var":
+                return ast.VarRef(_LOC, rng.choice(scope.int_vars))
+            return ast.IndexRef(
+                _LOC,
+                rng.choice(scope.arrays),
+                ast.VarRef(_LOC, rng.choice(scope.index_vars)),
+            )
+        kind = rng.random()
+        if kind < 0.75:
+            op = rng.choice(["+", "-", "*", "+", "-"])
+            return ast.BinaryOp(
+                _LOC, op,
+                self.int_expr(scope, depth + 1),
+                self.int_expr(scope, depth + 1),
+            )
+        if kind < 0.9:
+            op = rng.choice(["div", "mod"])
+            divisor = rng.choice([2, 3, 5, 7, -3])
+            return ast.BinaryOp(
+                _LOC, op,
+                self.int_expr(scope, depth + 1),
+                ast.IntLit(_LOC, divisor),
+            )
+        fn = rng.choice(["abs", "min", "max"])
+        if fn == "abs":
+            return ast.Call(_LOC, "abs", [self.int_expr(scope, depth + 1)])
+        return ast.Call(
+            _LOC, fn,
+            [self.int_expr(scope, depth + 1), self.int_expr(scope, depth + 1)],
+        )
+
+    def real_expr(self, scope: _Scope, depth: int = 0) -> ast.Expr:
+        rng = self.rng
+        if depth >= 2 or rng.random() < 0.4 or not scope.real_vars:
+            if scope.real_vars and rng.random() < 0.6:
+                return ast.VarRef(_LOC, rng.choice(scope.real_vars))
+            return ast.RealLit(_LOC, round(rng.uniform(-4.0, 4.0), 3))
+        kind = rng.random()
+        if kind < 0.7:
+            op = rng.choice(["+", "-", "*"])
+            return ast.BinaryOp(
+                _LOC, op,
+                self.real_expr(scope, depth + 1),
+                self.real_expr(scope, depth + 1),
+            )
+        if kind < 0.85:
+            return ast.Call(
+                _LOC, "float", [self.int_expr(scope, depth + 1)]
+            )
+        return ast.Call(
+            _LOC, rng.choice(["min", "max"]),
+            [self.real_expr(scope, depth + 1), self.real_expr(scope, depth + 1)],
+        )
+
+    def bool_expr(self, scope: _Scope) -> ast.Expr:
+        rng = self.rng
+        op = rng.choice(["<", "<=", ">", ">=", "=", "<>"])
+        cmp = ast.BinaryOp(
+            _LOC, op, self.int_expr(scope, 1), self.int_expr(scope, 1)
+        )
+        if rng.random() < 0.25:
+            other = ast.BinaryOp(
+                _LOC, rng.choice(["<", ">"]),
+                self.int_expr(scope, 2), self.int_expr(scope, 2),
+            )
+            return ast.BinaryOp(_LOC, rng.choice(["and", "or"]), cmp, other)
+        if rng.random() < 0.15:
+            return ast.UnaryOp(_LOC, "not", cmp)
+        return cmp
+
+    # -- statements ---------------------------------------------------------
+
+    def _reduced(self, expr: ast.Expr) -> ast.Expr:
+        """expr mod 9973 — keeps loop-carried integers bounded."""
+        return ast.BinaryOp(_LOC, "mod", expr, ast.IntLit(_LOC, MODULUS))
+
+    def statement(self, scope: _Scope, budget: int) -> ast.Stmt:
+        rng = self.rng
+        choices = ["int_assign", "int_assign", "real_assign", "write"]
+        if scope.arrays and scope.index_vars:
+            choices += ["array_assign", "array_assign"]
+        if budget >= 3:
+            choices.append("if")
+            if scope.loop_depth < 2:
+                choices += ["for", "for"]
+        kind = rng.choice(choices)
+
+        if kind == "int_assign":
+            target = ast.VarRef(_LOC, rng.choice(scope.assignable_ints))
+            value = self.int_expr(scope)
+            if scope.loop_depth:
+                value = self._reduced(value)
+            return ast.Assign(_LOC, target, value)
+        if kind == "real_assign":
+            target = ast.VarRef(_LOC, rng.choice(scope.real_vars))
+            return ast.Assign(_LOC, target, self.real_expr(scope))
+        if kind == "array_assign":
+            target = ast.IndexRef(
+                _LOC,
+                rng.choice(scope.arrays),
+                ast.VarRef(_LOC, rng.choice(scope.index_vars)),
+            )
+            value = self.int_expr(scope)
+            if scope.loop_depth:
+                value = self._reduced(value)
+            return ast.Assign(_LOC, target, value)
+        if kind == "write":
+            if scope.real_vars and rng.random() < 0.3:
+                return ast.Write(_LOC, ast.VarRef(_LOC, rng.choice(scope.real_vars)))
+            return ast.Write(_LOC, self.int_expr(scope, 1))
+        if kind == "if":
+            then_body = self.block(scope, budget // 2)
+            else_body = (
+                self.block(scope, budget // 3) if rng.random() < 0.5 else None
+            )
+            return ast.If(_LOC, self.bool_expr(scope), then_body, else_body)
+        # for loop over a fresh index variable with array-safe bounds
+        self._loop_var_count += 1
+        var = f"idx{self._loop_var_count}"
+        lo = rng.randint(0, 2)
+        hi = rng.randint(lo, ARRAY_SIZE - 1)
+        downto = rng.random() < 0.25
+        inner = _Scope(
+            scope.int_vars + [var],
+            scope.real_vars,
+            scope.arrays,
+            scope.index_vars + [var],
+            scope.loop_depth + 1,
+            assignable_ints=list(scope.assignable_ints),
+        )
+        body = self.block(inner, budget // 2)
+        start, stop = (hi, lo) if downto else (lo, hi)
+        self._extra_index_vars.append(var)
+        return ast.For(
+            _LOC, var, ast.IntLit(_LOC, start), ast.IntLit(_LOC, stop),
+            downto, body,
+        )
+
+    def block(self, scope: _Scope, budget: int) -> ast.Block:
+        n = max(1, min(budget, self.rng.randint(1, 4)))
+        return ast.Block(
+            _LOC, [self.statement(scope, budget - n) for _ in range(n)]
+        )
+
+    # -- program ----------------------------------------------------------
+
+    def generate(self) -> ast.Program:
+        rng = self.rng
+        self._extra_index_vars: list[str] = []
+        int_vars = [f"v{i}" for i in range(rng.randint(2, 4))]
+        real_vars = [f"r{i}" for i in range(rng.randint(1, 2))]
+        arrays = ["arr"] if rng.random() < 0.8 else []
+        scope = _Scope(list(int_vars), list(real_vars), arrays)
+
+        body: list[ast.Stmt] = []
+        # initialise every scalar so output is deterministic regardless
+        # of evaluation details
+        for v in int_vars:
+            body.append(
+                ast.Assign(_LOC, ast.VarRef(_LOC, v),
+                           ast.IntLit(_LOC, rng.randint(-9, 9)))
+            )
+        for v in real_vars:
+            body.append(
+                ast.Assign(_LOC, ast.VarRef(_LOC, v),
+                           ast.RealLit(_LOC, round(rng.uniform(-2, 2), 2)))
+            )
+        for _ in range(rng.randint(3, self.max_statements)):
+            body.append(self.statement(scope, 8))
+        # final observations
+        for v in int_vars:
+            body.append(ast.Write(_LOC, ast.VarRef(_LOC, v)))
+        for v in real_vars:
+            body.append(ast.Write(_LOC, ast.VarRef(_LOC, v)))
+        if arrays and self._extra_index_vars:
+            idx = ast.IntLit(_LOC, rng.randrange(ARRAY_SIZE))
+            body.append(ast.Write(_LOC, ast.IndexRef(_LOC, "arr", idx)))
+
+        decls = [
+            ast.VarDecl(_LOC, int_vars + self._extra_index_vars, ast.INT),
+            ast.VarDecl(_LOC, real_vars, ast.REAL),
+        ]
+        if arrays:
+            decls.append(
+                ast.VarDecl(
+                    _LOC, arrays, ast.Type(ast.BaseType.INT, ARRAY_SIZE)
+                )
+            )
+        return ast.Program(_LOC, f"fuzz{rng.randrange(10**6)}", decls,
+                           ast.Block(_LOC, body))
+
+
+def random_program(seed: int, max_statements: int = 12) -> ast.Program:
+    """A random, valid, terminating program AST."""
+    return ProgramGenerator(seed, max_statements).generate()
+
+
+def random_source(seed: int, max_statements: int = 12) -> str:
+    """Source text of a random program (via the unparser)."""
+    from .unparse import unparse
+
+    return unparse(random_program(seed, max_statements))

@@ -1,0 +1,118 @@
+"""AST -> source text (unparser).
+
+Produces mini-language source that re-parses to an equivalent AST; used
+by the random-program fuzzer and handy for dumping transformed
+programs (e.g. after unrolling).
+"""
+
+from __future__ import annotations
+
+from . import ast_nodes as ast
+
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "=": 4, "<>": 4, "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "div": 6, "mod": 6,
+}
+
+
+def _expr(node: ast.Expr, parent_prec: int = 0) -> str:
+    if isinstance(node, ast.IntLit):
+        return str(node.value)
+    if isinstance(node, ast.RealLit):
+        text = repr(node.value)
+        # ensure a decimal point or exponent so it lexes as a real
+        if "." not in text and "e" not in text and "inf" not in text:
+            text += ".0"
+        return text
+    if isinstance(node, ast.BoolLit):
+        return "true" if node.value else "false"
+    if isinstance(node, ast.VarRef):
+        return node.name
+    if isinstance(node, ast.IndexRef):
+        return f"{node.name}[{_expr(node.index)}]"
+    if isinstance(node, ast.UnaryOp):
+        if node.op == "not":
+            inner = _expr(node.operand, 3)
+            return f"not {inner}"
+        inner = _expr(node.operand, 7)
+        return f"{node.op}{inner}"
+    if isinstance(node, ast.BinaryOp):
+        prec = _PRECEDENCE[node.op]
+        left = _expr(node.left, prec)
+        right = _expr(node.right, prec + 1)  # left associative
+        text = f"{left} {node.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    if isinstance(node, ast.Call):
+        args = ", ".join(_expr(a) for a in node.args)
+        return f"{node.name}({args})"
+    raise TypeError(f"cannot unparse {type(node).__name__}")  # pragma: no cover
+
+
+def _stmt(node: ast.Stmt, indent: int) -> list[str]:
+    pad = "  " * indent
+    if isinstance(node, ast.Assign):
+        return [f"{pad}{_expr(node.target)} := {_expr(node.value)}"]
+    if isinstance(node, ast.If):
+        lines = [f"{pad}if {_expr(node.cond)} then"]
+        lines += _block_or_stmt(node.then_body, indent + 1)
+        if node.else_body is not None:
+            lines.append(f"{pad}else")
+            lines += _block_or_stmt(node.else_body, indent + 1)
+        return lines
+    if isinstance(node, ast.While):
+        lines = [f"{pad}while {_expr(node.cond)} do"]
+        lines += _block_or_stmt(node.body, indent + 1)
+        return lines
+    if isinstance(node, ast.For):
+        direction = "downto" if node.downto else "to"
+        lines = [
+            f"{pad}for {node.var} := {_expr(node.start)} "
+            f"{direction} {_expr(node.stop)} do"
+        ]
+        lines += _block_or_stmt(node.body, indent + 1)
+        return lines
+    if isinstance(node, ast.Block):
+        lines = [f"{pad}begin"]
+        body: list[str] = []
+        for child in node.body:
+            body += _stmt(child, indent + 1)
+            body[-1] += ";"
+        if body:
+            body[-1] = body[-1][:-1]  # last semicolon optional; drop it
+        lines += body
+        lines.append(f"{pad}end")
+        return lines
+    if isinstance(node, ast.Write):
+        return [f"{pad}write({_expr(node.value)})"]
+    if isinstance(node, ast.Read):
+        return [f"{pad}read({_expr(node.target)})"]
+    if isinstance(node, ast.Break):
+        return [f"{pad}break"]
+    if isinstance(node, ast.Continue):
+        return [f"{pad}continue"]
+    raise TypeError(f"cannot unparse {type(node).__name__}")  # pragma: no cover
+
+
+def _block_or_stmt(node: ast.Stmt, indent: int) -> list[str]:
+    if isinstance(node, ast.Block):
+        return _stmt(node, indent)
+    return _stmt(node, indent)
+
+
+def unparse(program: ast.Program) -> str:
+    """Render a program AST back to parseable source text."""
+    lines = [f"program {program.name};"]
+    if program.decls:
+        lines.append("var")
+        for decl in program.decls:
+            names = ", ".join(decl.names)
+            lines.append(f"  {names}: {decl.type};")
+    body = _stmt(program.body, 0)
+    lines += body
+    lines.append(".")
+    return "\n".join(lines)

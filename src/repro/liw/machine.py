@@ -1,0 +1,58 @@
+"""Machine description for the (R)LIW target.
+
+The paper's machine (Gupta & Soffa's reconfigurable LIW, and Multiflow's
+TRACE which it cites) has multiple functional units operating in
+lock-step, fetching operands in parallel from ``k`` independent memory
+modules.  We model:
+
+- ``num_fus`` functional-unit slots per long instruction (each op
+  occupies one slot; all ops are single-cycle in lock-step);
+- one branch slot (the branch, if any, is the last operation of a block
+  and rides in the final long instruction);
+- at most ``mem_ports`` operand fetches per long instruction — the
+  quantity the paper bounds by ``k`` ("each of which requires up to k
+  operands");
+- ``delta`` — the paper's Δ, the time one memory module needs to supply
+  one operand.  An instruction whose operands map i-deep onto one module
+  takes ``i * delta`` for its fetch phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    """Parameters of the simulated LIW machine."""
+
+    num_fus: int = 4
+    num_modules: int = 8
+    mem_ports: int | None = None  # defaults to num_modules
+    delta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_fus < 1:
+            raise ValueError("num_fus must be >= 1")
+        if self.num_modules < 1:
+            raise ValueError("num_modules must be >= 1")
+        if self.mem_ports is not None and self.mem_ports < 1:
+            raise ValueError("mem_ports must be >= 1")
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+
+    @property
+    def k(self) -> int:
+        """The paper's k — number of parallel memory modules."""
+        return self.num_modules
+
+    @property
+    def ports(self) -> int:
+        return self.mem_ports if self.mem_ports is not None else self.num_modules
+
+
+#: The configuration of the paper's experiments (§3): eight modules.
+PAPER_MACHINE = MachineConfig(num_fus=4, num_modules=8)
+
+#: The four-module variant used in Table 2's right half.
+PAPER_MACHINE_K4 = MachineConfig(num_fus=4, num_modules=4)

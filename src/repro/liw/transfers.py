@@ -1,0 +1,138 @@
+"""Scheduling of inter-module data transfers (paper §1, §2).
+
+"Multiple copies can be created by data transfers among memory modules
+that are scheduled at compile-time.  The transfers can result in
+increased execution time.  Thus, an attempt should be made to minimize
+duplication of values."
+
+Under the eager model the defining instruction writes every copy of a
+duplicated value in one cycle — a free lunch real hardware does not
+serve.  This pass makes the cost explicit: the definition writes only
+the value's *primary* module, and one :class:`~repro.ir.tac.Transfer`
+operation per additional copy is scheduled into the slack of the
+following long instructions (free functional-unit slots and memory
+ports), falling back to freshly inserted words when no slack exists.
+
+Correctness rule: a transfer must complete before any instruction that
+might fetch the value from the destination module, and before control
+can leave the block.  The pass therefore flushes pending transfers of a
+value ahead of any reader of that value and flushes everything before
+the block's final (branch-carrying) instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.allocation import Allocation
+from ..ir import tac
+from .machine import MachineConfig
+from .schedule import BlockSchedule, LiwInstruction, Schedule
+
+
+@dataclass(slots=True)
+class TransferStats:
+    transfers_inserted: int = 0
+    words_added: int = 0
+    packed_into_slack: int = 0
+    #: transfers per value id (diagnostics)
+    per_value: dict[int, int] = field(default_factory=dict)
+
+
+def _fits(liw: LiwInstruction, machine: MachineConfig) -> bool:
+    return (
+        len(liw.ops) < machine.num_fus
+        and liw.mem_accesses + 2 <= machine.ports
+    )
+
+
+def insert_transfers(
+    schedule: Schedule, alloc: Allocation
+) -> tuple[Schedule, TransferStats]:
+    """Return a new schedule with explicit copy transfers.
+
+    The input schedule is not modified; ``alloc`` must be the allocation
+    the schedule will run under.
+    """
+    machine = schedule.machine
+    stats = TransferStats()
+    new_blocks: list[BlockSchedule] = []
+
+    for bs in schedule.blocks:
+        pending: list[tac.Transfer] = []
+        out: list[LiwInstruction] = []
+
+        def flush(
+            only_values: set[int] | None = None,
+        ) -> None:
+            """Emit pending transfers (all, or of specific values) into
+            fresh words."""
+            nonlocal pending
+            emit = [
+                t
+                for t in pending
+                if only_values is None or t.value.id in only_values  # type: ignore[union-attr]
+            ]
+            if not emit:
+                return
+            pending = [t for t in pending if t not in emit]
+            word = LiwInstruction()
+            for t in emit:
+                if not _fits(word, machine):
+                    out.append(word)
+                    stats.words_added += 1
+                    word = LiwInstruction()
+                word.ops.append(t)
+            out.append(word)
+            stats.words_added += 1
+
+        def queue_dest_transfers(liw: LiwInstruction) -> None:
+            for vid in sorted(liw.scalar_dests()):
+                mods = alloc.modules(vid)
+                if len(mods) <= 1:
+                    continue
+                primary = alloc.primary(vid)
+                for m in sorted(mods - {primary}):
+                    pending.append(tac.Transfer(tac.Value(vid), primary, m))
+                    stats.transfers_inserted += 1
+                    stats.per_value[vid] = stats.per_value.get(vid, 0) + 1
+
+        for i, liw in enumerate(bs.liws):
+            is_last = i == len(bs.liws) - 1
+            # transfers whose value this word reads must land first
+            reads = liw.scalar_sources()
+            pending_values = {
+                t.value.id for t in pending  # type: ignore[union-attr]
+            }
+            if reads & pending_values:
+                flush(reads & pending_values)
+
+            if not is_last:
+                word = LiwInstruction(list(liw.ops), liw.branch)
+                while pending and _fits(word, machine):
+                    word.ops.append(pending.pop(0))
+                    stats.packed_into_slack += 1
+                out.append(word)
+                queue_dest_transfers(liw)
+                continue
+
+            # Final word: every transfer — including those for values the
+            # word itself defines — must complete before the branch, so
+            # split the branch off when anything is still pending.
+            body = LiwInstruction(list(liw.ops), None)
+            queue_dest_transfers(liw)
+            if not pending:
+                body.branch = liw.branch
+                out.append(body)
+                continue
+            while pending and _fits(body, machine):
+                body.ops.append(pending.pop(0))
+                stats.packed_into_slack += 1
+            out.append(body)
+            flush(None)
+            if liw.branch is not None:
+                out.append(LiwInstruction(branch=liw.branch))
+                stats.words_added += 1
+        new_blocks.append(BlockSchedule(bs.block_index, bs.label, out))
+
+    return Schedule(schedule.cfg, machine, new_blocks), stats

@@ -1,0 +1,40 @@
+"""Parallel-memory simulator: module layouts, exact load distributions,
+and the Δ-model transfer-time accounting of the paper's §3."""
+
+from .distribution import (
+    expected_max_load,
+    max_load_distribution,
+    min_possible_max_load,
+)
+from .interleave import (
+    LAYOUTS,
+    ArrayLayout,
+    InterleavedLayout,
+    PerArrayLayout,
+    SingleModuleLayout,
+    SkewedLayout,
+    make_layout,
+)
+from .simulator import (
+    MemoryReport,
+    MemorySimulator,
+    instruction_distribution,
+    scalar_load_vector,
+)
+
+__all__ = [
+    "expected_max_load",
+    "max_load_distribution",
+    "min_possible_max_load",
+    "LAYOUTS",
+    "ArrayLayout",
+    "InterleavedLayout",
+    "PerArrayLayout",
+    "SingleModuleLayout",
+    "SkewedLayout",
+    "make_layout",
+    "MemoryReport",
+    "MemorySimulator",
+    "instruction_distribution",
+    "scalar_load_vector",
+]

@@ -1,0 +1,79 @@
+"""Exact distribution of the per-instruction maximum module load.
+
+The paper's t_ave model (§3) assumes each array reference lands in a
+uniformly random memory module.  For an instruction whose scalar
+operands produce a fixed per-module load vector and which additionally
+performs ``n`` array accesses, we need ``p(i)`` — the probability that
+some module ends up serving ``i`` accesses — because the fetch phase
+then costs ``i·Δ`` (the paper's ``t_ave = Σ i·Δ·p(i)``).
+
+Modules are exchangeable under uniform placement, so the DP state is the
+*multiset* of module loads; the state space stays tiny for k ≤ 8 and a
+handful of array accesses, making the computation exact (no Monte
+Carlo).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=65536)
+def max_load_distribution(
+    initial_loads: tuple[int, ...], n_random: int
+) -> dict[int, float]:
+    """``p(i)`` for the max load after ``n_random`` uniform accesses.
+
+    ``initial_loads`` is the per-module load vector from accesses whose
+    module is known at compile time (scalars); its length is k.  The
+    returned dict maps load value -> probability (sums to 1).
+    """
+    k = len(initial_loads)
+    if k == 0:
+        raise ValueError("need at least one module")
+
+    # States are descending-sorted load tuples (module identity does not
+    # matter for uniformly-random placement).
+    state0 = tuple(sorted(initial_loads, reverse=True))
+    dist: dict[tuple[int, ...], float] = {state0: 1.0}
+    for _ in range(n_random):
+        nxt: dict[tuple[int, ...], float] = {}
+        for state, prob in dist.items():
+            # Group modules by load value; adding an access to any module
+            # of load L yields the same successor multiset.
+            seen: set[int] = set()
+            for idx, load in enumerate(state):
+                if load in seen:
+                    continue
+                seen.add(load)
+                count = state.count(load)
+                bumped = list(state)
+                bumped[idx] = load + 1
+                succ = tuple(sorted(bumped, reverse=True))
+                nxt[succ] = nxt.get(succ, 0.0) + prob * count / k
+        dist = nxt
+
+    out: dict[int, float] = {}
+    for state, prob in dist.items():
+        top = state[0]
+        out[top] = out.get(top, 0.0) + prob
+    return out
+
+
+def expected_max_load(initial_loads: tuple[int, ...], n_random: int) -> float:
+    """E[max module load] — the paper's Σ i·p(i) (Δ factored out)."""
+    dist = max_load_distribution(initial_loads, n_random)
+    return sum(i * p for i, p in dist.items())
+
+
+def min_possible_max_load(
+    initial_loads: tuple[int, ...], n_extra: int
+) -> int:
+    """Best-case max load when ``n_extra`` accesses may be steered to any
+    module (the t_min assumption: array references never conflict).
+    Greedy into the least-loaded module is optimal for max-load."""
+    loads = sorted(initial_loads)
+    for _ in range(n_extra):
+        loads[0] += 1
+        loads.sort()
+    return loads[-1] if loads else 0

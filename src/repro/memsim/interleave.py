@@ -1,0 +1,88 @@
+"""Array storage layouts across memory modules.
+
+Scalars are placed by the paper's algorithms; array *elements* land in
+modules according to a layout policy fixed at compile time:
+
+- :class:`InterleavedLayout` — element ``a[i]`` lives in module
+  ``(base_a + i) mod k`` (low-order interleaving, the practical default
+  the paper assumes for t_ave: "the elements of the same array will be
+  distributed uniformly among the memory modules");
+- :class:`SingleModuleLayout` — every array in one module (the paper's
+  pathological t_max scenario);
+- :class:`PerArrayLayout` — each whole array in its own module
+  (round-robin across arrays);
+- :class:`SkewedLayout` — module ``(base_a + i + i // k) mod k``,
+  the classic skew that also spreads power-of-two strides (Budnik-Kuck /
+  Harper-Jump lineage).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+
+class ArrayLayout(Protocol):
+    """Maps an array-element access to a memory module."""
+
+    def module(self, array: str, index: int) -> int: ...
+
+
+class _BaseLayout:
+    """Common machinery: arrays get deterministic base offsets in
+    declaration order."""
+
+    def __init__(self, arrays: Sequence[str], k: int):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.base = {name: i for i, name in enumerate(arrays)}
+
+    def _base_of(self, array: str) -> int:
+        try:
+            return self.base[array]
+        except KeyError:
+            raise KeyError(f"unknown array {array!r}") from None
+
+
+class InterleavedLayout(_BaseLayout):
+    def module(self, array: str, index: int) -> int:
+        return (self._base_of(array) + index) % self.k
+
+
+class SingleModuleLayout(_BaseLayout):
+    def __init__(self, arrays: Sequence[str], k: int, module_index: int = 0):
+        super().__init__(arrays, k)
+        if not 0 <= module_index < k:
+            raise ValueError("module_index out of range")
+        self._module = module_index
+
+    def module(self, array: str, index: int) -> int:
+        self._base_of(array)
+        return self._module
+
+
+class PerArrayLayout(_BaseLayout):
+    def module(self, array: str, index: int) -> int:
+        del index
+        return self._base_of(array) % self.k
+
+
+class SkewedLayout(_BaseLayout):
+    def module(self, array: str, index: int) -> int:
+        return (self._base_of(array) + index + index // self.k) % self.k
+
+
+LAYOUTS = {
+    "interleaved": InterleavedLayout,
+    "single": SingleModuleLayout,
+    "per_array": PerArrayLayout,
+    "skewed": SkewedLayout,
+}
+
+
+def make_layout(name: str, arrays: Sequence[str], k: int) -> ArrayLayout:
+    try:
+        cls = LAYOUTS[name]
+    except KeyError:
+        raise ValueError(f"unknown layout {name!r}") from None
+    return cls(arrays, k)

@@ -1,0 +1,170 @@
+"""End-to-end compilation pipeline: source text to simulated execution.
+
+This is the convenience layer gluing the substrates together the way the
+paper's compiler does:
+
+    source --(lang)--> AST --(ir)--> TAC --> CFG --> renamed values
+           --(liw)--> long-instruction schedule
+           --(core)--> storage allocation (STOR1/2/3)
+           --(memsim)--> transfer-time report
+
+Most callers want :func:`compile_source` and then either
+:func:`repro.core.run_strategy` or :func:`simulate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .core.allocation import Allocation
+from .core.strategies import StorageResult, run_strategy
+from .ir.builder import lower_ast
+from .ir.cfg import Cfg, build_cfg
+from .ir.rename import RenamedProgram, rename
+from .ir.simplify import simplify_cfg
+from .ir.unroll import unroll_program
+from .lang.parser import parse
+from .lang.sema import analyze
+from .liw.executor import ExecResult, LiwExecutor
+from .liw.machine import MachineConfig
+from .liw.schedule import Schedule
+from .liw.scheduler import schedule_program
+from .memsim.interleave import make_layout
+from .memsim.simulator import MemoryReport, MemorySimulator
+
+
+@dataclass(slots=True)
+class CompiledProgram:
+    """A program after the machine-independent and scheduling phases."""
+
+    name: str
+    cfg: Cfg
+    renamed: RenamedProgram
+    schedule: Schedule
+
+    @property
+    def machine(self) -> MachineConfig:
+        return self.schedule.machine
+
+
+def compile_source(
+    source: str,
+    machine: MachineConfig | None = None,
+    unroll: int = 1,
+    unroll_innermost_only: bool = False,
+    constants_in_memory: bool = False,
+    immediate_limit: int = 15,
+    simplify: bool = True,
+    rename_mode: str = "web",
+) -> CompiledProgram:
+    """Compile mini-language source down to a LIW schedule.
+
+    ``unroll`` > 1 replicates eligible ``for`` bodies (see
+    :mod:`repro.ir.unroll`) — the block-enlarging transformation LIW
+    compilers rely on.  ``constants_in_memory`` places literals beyond
+    the immediate fields into data memory, where they participate in
+    storage assignment as read-only values.  The paper-scale experiment
+    configuration (:func:`compile_for_paper`) enables both.
+    """
+    machine = machine or MachineConfig()
+    tree = parse(source)
+    if unroll > 1:
+        tree = unroll_program(tree, unroll, unroll_innermost_only)
+    analyze(tree)
+    tac_prog = lower_ast(tree, constants_in_memory, immediate_limit)
+    cfg = build_cfg(tac_prog)
+    if simplify:
+        cfg = simplify_cfg(cfg)
+    renamed = rename(cfg, mode=rename_mode)
+    schedule = schedule_program(renamed, machine)
+    return CompiledProgram(tac_prog.name, cfg, renamed, schedule)
+
+
+def compile_for_paper(
+    source: str,
+    machine: MachineConfig | None = None,
+    unroll: int = 4,
+) -> CompiledProgram:
+    """The configuration of the paper-scale experiments: unrolled loops
+    (an aggressive compacting compiler) and memory-resident constants
+    (narrow LIW immediate fields)."""
+    return compile_source(
+        source,
+        machine,
+        unroll=unroll,
+        constants_in_memory=True,
+    )
+
+
+def allocate_storage(
+    program: CompiledProgram,
+    strategy: str = "STOR1",
+    method: str = "hitting_set",
+    k: int | None = None,
+    **kwargs,
+) -> StorageResult:
+    """Run one of the paper's storage strategies on a compiled program."""
+    return run_strategy(
+        strategy, program.schedule, program.renamed, k, method=method, **kwargs
+    )
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    exec_result: ExecResult
+    memory: MemoryReport
+
+    @property
+    def outputs(self) -> list[object]:
+        return self.exec_result.outputs
+
+    @property
+    def cycles(self) -> int:
+        return self.exec_result.cycles
+
+    @property
+    def total_time(self) -> float:
+        """Execution cycles plus transfer-serialisation stall time beyond
+        the one Δ-per-instruction already inside the cycle count."""
+        return self.cycles + self.memory.stall_time
+
+
+def simulate(
+    program: CompiledProgram,
+    allocation: Allocation,
+    inputs: list[object] | None = None,
+    layout: str = "interleaved",
+    delta: float = 1.0,
+    max_cycles: int = 5_000_000,
+    scheduled_transfers: bool = False,
+) -> SimulationResult:
+    """Execute a compiled program under an allocation and array layout,
+    collecting the paper's transfer-time statistics.
+
+    With ``scheduled_transfers`` the duplicated values are filled by
+    compile-time-scheduled Transfer operations instead of eager
+    multi-module writes (see :mod:`repro.liw.transfers`).
+    """
+    machine = program.machine
+    arrays = sorted(program.cfg.arrays)
+    schedule = program.schedule
+    if scheduled_transfers:
+        from .liw.transfers import insert_transfers
+
+        schedule, _ = insert_transfers(schedule, allocation)
+    sim = MemorySimulator(
+        allocation,
+        make_layout(layout, arrays, machine.k),
+        machine.k,
+        delta=delta,
+        eager_copies=not scheduled_transfers,
+    )
+    executor = LiwExecutor(
+        schedule,
+        inputs,
+        max_cycles,
+        observers=[sim],
+        initial_values=program.renamed.initial_values(),
+    )
+    result = executor.run()
+    return SimulationResult(result, sim.report())

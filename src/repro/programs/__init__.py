@@ -1,0 +1,5 @@
+"""The paper's six benchmark programs in the mini language."""
+
+from .registry import ProgramSpec, all_programs, get_program, program_names
+
+__all__ = ["ProgramSpec", "all_programs", "get_program", "program_names"]

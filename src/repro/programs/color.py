@@ -1,0 +1,189 @@
+"""COLOR — the paper's graph-colouring heuristic, as a benchmark.
+
+The paper's sixth test program is "the graph coloring algorithm
+presented in this paper".  This is Fig. 4 on an adjacency/conflict
+matrix: degree-gated edge weights, maximum-S first node, then repeated
+maximum-urgency selection (cross-multiplied fraction comparison, K = 0
+meaning infinite urgency and removal).  Colours are 1..k; 0 = uncoloured;
+-1 = removed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .registry import ProgramSpec, register
+
+SOURCE = """
+program color;
+var
+  n, kk, i, j, t, c, cnt, wt, inc, kleft, best, bestnum, bestden, bestinf,
+  first, bests, chosen: int;
+  conf: array[144] of int;
+  d: array[12] of int;
+  s: array[12] of int;
+  colorof: array[12] of int;
+  used: array[8] of int;
+begin
+  read(n);
+  read(kk);
+  for i := 0 to n - 1 do
+    for j := 0 to n - 1 do
+      read(conf[i * n + j]);
+
+  { degrees and gated outgoing weight sums S }
+  for i := 0 to n - 1 do begin
+    d[i] := 0;
+    s[i] := 0;
+    colorof[i] := 0
+  end;
+  for i := 0 to n - 1 do
+    for j := 0 to n - 1 do
+      if conf[i * n + j] > 0 then
+        d[i] := d[i] + 1;
+  for i := 0 to n - 1 do
+    if d[i] >= kk then
+      for j := 0 to n - 1 do
+        s[i] := s[i] + conf[i * n + j];
+
+  { first node: maximum S, ties to the smallest index }
+  first := 0;
+  bests := s[0];
+  for i := 1 to n - 1 do
+    if s[i] > bests then begin
+      first := i;
+      bests := s[i]
+    end;
+  colorof[first] := 1;
+
+  { colour or remove the remaining n-1 nodes by urgency }
+  for cnt := 2 to n do begin
+    best := 0 - 1;
+    bestnum := 0 - 1;
+    bestden := 1;
+    bestinf := 0;
+    for j := 0 to n - 1 do begin
+      if colorof[j] = 0 then begin
+        inc := 0;
+        kleft := kk;
+        for c := 1 to kk do
+          used[c - 1] := 0;
+        for t := 0 to n - 1 do begin
+          if conf[t * n + j] > 0 then
+            if colorof[t] > 0 then begin
+              wt := 0;
+              if d[t] >= kk then
+                wt := conf[t * n + j];
+              inc := inc + wt;
+              if used[colorof[t] - 1] = 0 then begin
+                used[colorof[t] - 1] := 1;
+                kleft := kleft - 1
+              end
+            end
+        end;
+        if kleft = 0 then begin
+          if bestinf = 0 then begin
+            best := j;
+            bestinf := 1
+          end
+        end else begin
+          if bestinf = 0 then
+            if best < 0 then begin
+              best := j; bestnum := inc; bestden := kleft
+            end else if inc * bestden > bestnum * kleft then begin
+              best := j; bestnum := inc; bestden := kleft
+            end
+        end
+      end
+    end;
+
+    if bestinf = 1 then
+      colorof[best] := 0 - 1
+    else begin
+      for c := 1 to kk do
+        used[c - 1] := 0;
+      for t := 0 to n - 1 do
+        if conf[t * n + best] > 0 then
+          if colorof[t] > 0 then
+            used[colorof[t] - 1] := 1;
+      chosen := 0;
+      for c := kk downto 1 do
+        if used[c - 1] = 0 then
+          chosen := c;
+      colorof[best] := chosen
+    end
+  end;
+
+  for i := 0 to n - 1 do
+    write(colorof[i])
+end.
+"""
+
+
+def reference(inputs: tuple[object, ...]) -> list[object]:
+    it = iter(inputs)
+    n = int(next(it))
+    kk = int(next(it))
+    conf = [[int(next(it)) for _ in range(n)] for _ in range(n)]
+
+    d = [sum(1 for j in range(n) if conf[i][j] > 0) for i in range(n)]
+    s = [
+        sum(conf[i]) if d[i] >= kk else 0
+        for i in range(n)
+    ]
+    color = [0] * n
+    first = max(range(n), key=lambda i: (s[i], -i))
+    color[first] = 1
+
+    for _ in range(n - 1):
+        best, bestnum, bestden, bestinf = -1, -1, 1, False
+        for j in range(n):
+            if color[j] != 0:
+                continue
+            inc = 0
+            used = set()
+            for t in range(n):
+                if conf[t][j] > 0 and color[t] > 0:
+                    inc += conf[t][j] if d[t] >= kk else 0
+                    used.add(color[t])
+            kleft = kk - len(used)
+            if kleft == 0:
+                if not bestinf:
+                    best, bestinf = j, True
+            elif not bestinf:
+                if best < 0 or inc * bestden > bestnum * kleft:
+                    best, bestnum, bestden = j, inc, kleft
+        if bestinf:
+            color[best] = -1
+        else:
+            used = {
+                color[t]
+                for t in range(n)
+                if conf[t][best] > 0 and color[t] > 0
+            }
+            chosen = min(c for c in range(1, kk + 1) if c not in used)
+            color[best] = chosen
+    return list(color)
+
+
+def _make_graph(n: int = 10, kk: int = 3, seed: int = 42) -> tuple[object, ...]:
+    rng = random.Random(seed)
+    conf = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.45:
+                w = rng.randrange(1, 4)
+                conf[i][j] = conf[j][i] = w
+    flat = [conf[i][j] for i in range(n) for j in range(n)]
+    return (n, kk, *flat)
+
+
+SPEC = register(
+    ProgramSpec(
+        name="COLOR",
+        source=SOURCE,
+        inputs=_make_graph(),
+        description="The paper's Fig. 4 colouring heuristic on a random graph",
+        reference=reference,
+    )
+)

@@ -1,0 +1,147 @@
+"""EXACT — linear equations solved exactly with residue arithmetic.
+
+Gaussian elimination over the prime field GF(p): pivot inverses come
+from Fermat's little theorem via binary exponentiation (a while-loop of
+modular multiplies), then back substitution.  All arithmetic is exact
+integer residue arithmetic, as in the paper's EXACT benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .registry import ProgramSpec, register
+
+SOURCE = """
+program exact;
+var
+  n, p, col, row, j, piv, invv, base, e, factor, s, v: int;
+  a: array[64] of int;
+  b: array[8] of int;
+  x: array[8] of int;
+begin
+  read(n);
+  read(p);
+  for row := 0 to n - 1 do
+    for j := 0 to n - 1 do
+      read(a[row * n + j]);
+  for row := 0 to n - 1 do
+    read(b[row]);
+
+  { forward elimination mod p }
+  for col := 0 to n - 2 do begin
+    piv := a[col * n + col];
+    { invv := piv^(p-2) mod p by binary exponentiation }
+    invv := 1;
+    base := piv;
+    e := p - 2;
+    while e > 0 do begin
+      if e mod 2 = 1 then
+        invv := invv * base mod p;
+      base := base * base mod p;
+      e := e div 2
+    end;
+    for row := col + 1 to n - 1 do begin
+      factor := a[row * n + col] * invv mod p;
+      for j := col to n - 1 do begin
+        v := (a[row * n + j] - factor * a[col * n + j]) mod p;
+        if v < 0 then v := v + p;
+        a[row * n + j] := v
+      end;
+      v := (b[row] - factor * b[col]) mod p;
+      if v < 0 then v := v + p;
+      b[row] := v
+    end
+  end;
+
+  { back substitution }
+  for row := n - 1 downto 0 do begin
+    s := b[row];
+    for j := row + 1 to n - 1 do begin
+      s := (s - a[row * n + j] * x[j]) mod p;
+      if s < 0 then s := s + p
+    end;
+    piv := a[row * n + row];
+    invv := 1;
+    base := piv;
+    e := p - 2;
+    while e > 0 do begin
+      if e mod 2 = 1 then
+        invv := invv * base mod p;
+      base := base * base mod p;
+      e := e div 2
+    end;
+    x[row] := s * invv mod p
+  end;
+
+  for row := 0 to n - 1 do
+    write(x[row])
+end.
+"""
+
+
+def _modinv(a: int, p: int) -> int:
+    inv, base, e = 1, a, p - 2
+    while e > 0:
+        if e % 2 == 1:
+            inv = inv * base % p
+        base = base * base % p
+        e //= 2
+    return inv
+
+
+def reference(inputs: tuple[object, ...]) -> list[object]:
+    it = iter(inputs)
+    n = int(next(it))
+    p = int(next(it))
+    a = [[int(next(it)) for _ in range(n)] for _ in range(n)]
+    b = [int(next(it)) for _ in range(n)]
+    for col in range(n - 1):
+        inv = _modinv(a[col][col], p)
+        for row in range(col + 1, n):
+            factor = a[row][col] * inv % p
+            for j in range(col, n):
+                a[row][j] = (a[row][j] - factor * a[col][j]) % p
+            b[row] = (b[row] - factor * b[col]) % p
+    x = [0] * n
+    for row in range(n - 1, -1, -1):
+        s = b[row]
+        for j in range(row + 1, n):
+            s = (s - a[row][j] * x[j]) % p
+        x[row] = s * _modinv(a[row][row], p) % p
+    return list(x)
+
+
+def _make_system(n: int = 6, p: int = 10007, seed: int = 1988):
+    """A deterministic invertible system mod p (no zero pivots during
+    plain no-pivoting elimination)."""
+    rng = random.Random(seed)
+    while True:
+        mat = [[rng.randrange(1, p) for _ in range(n)] for _ in range(n)]
+        rhs = [rng.randrange(p) for _ in range(n)]
+        # Check pivots survive elimination without row swaps.
+        trial = [row[:] for row in mat]
+        ok = True
+        for col in range(n):
+            if trial[col][col] % p == 0:
+                ok = False
+                break
+            inv = _modinv(trial[col][col], p)
+            for row in range(col + 1, n):
+                factor = trial[row][col] * inv % p
+                for j in range(col, n):
+                    trial[row][j] = (trial[row][j] - factor * trial[col][j]) % p
+        if ok:
+            flat = [v for row in mat for v in row]
+            return (n, p, *flat, *rhs)
+
+
+SPEC = register(
+    ProgramSpec(
+        name="EXACT",
+        source=SOURCE,
+        inputs=_make_system(),
+        description="Linear system over GF(p) via residue arithmetic",
+        reference=reference,
+    )
+)

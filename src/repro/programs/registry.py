@@ -1,0 +1,75 @@
+"""Registry of the paper's six benchmark programs (§3).
+
+Each entry bundles mini-language source, its input stream, and a pure
+Python reference implementation used by the differential tests.  The
+programs re-implement the algorithms the paper names:
+
+=========  ==========================================================
+TAYLOR1    Taylor coefficients of a *complex* analytic function
+TAYLOR2    Taylor coefficients of a *real* analytic function
+EXACT      linear system solved exactly with residue arithmetic
+FFT        radix-2 fast Fourier transform
+SORT       quicksort
+COLOR      the paper's own graph-colouring heuristic
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True, slots=True)
+class ProgramSpec:
+    """One benchmark program."""
+
+    name: str
+    source: str
+    inputs: tuple[object, ...] = ()
+    description: str = ""
+    #: pure-Python model producing the expected output stream
+    reference: Callable[[tuple[object, ...]], list[object]] | None = None
+
+
+_REGISTRY: dict[str, ProgramSpec] = {}
+
+
+def register(spec: ProgramSpec) -> ProgramSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate program {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_program(name: str) -> ProgramSpec:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; have {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_programs() -> list[ProgramSpec]:
+    """The six paper benchmarks, in the paper's table order."""
+    _ensure_loaded()
+    order = ["TAYLOR1", "TAYLOR2", "EXACT", "FFT", "SORT", "COLOR"]
+    return [_REGISTRY[name] for name in order]
+
+
+def program_names() -> list[str]:
+    return [p.name for p in all_programs()]
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    # Import for side effects: each module registers its spec.
+    from . import color, exact_solver, fft, sort, taylor1, taylor2  # noqa: F401

@@ -1,0 +1,78 @@
+"""SORT — quicksort with an explicit segment stack.
+
+Lomuto partitioning; the recursion is replaced by explicit ``lo``/``hi``
+stacks (arrays), the standard formulation for machines without a
+call stack — matching the paper's SORT benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .registry import ProgramSpec, register
+
+SOURCE = """
+program sort;
+var
+  n, sp, l, h, i, j, pivot, t: int;
+  a: array[96] of int;
+  lo: array[32] of int;
+  hi: array[32] of int;
+begin
+  read(n);
+  for i := 0 to n - 1 do
+    read(a[i]);
+
+  lo[0] := 0;
+  hi[0] := n - 1;
+  sp := 1;
+  while sp > 0 do begin
+    sp := sp - 1;
+    l := lo[sp];
+    h := hi[sp];
+    if l < h then begin
+      pivot := a[h];
+      i := l - 1;
+      for j := l to h - 1 do begin
+        if a[j] <= pivot then begin
+          i := i + 1;
+          t := a[i]; a[i] := a[j]; a[j] := t
+        end
+      end;
+      i := i + 1;
+      t := a[i]; a[i] := a[h]; a[h] := t;
+      lo[sp] := l;
+      hi[sp] := i - 1;
+      sp := sp + 1;
+      lo[sp] := i + 1;
+      hi[sp] := h;
+      sp := sp + 1
+    end
+  end;
+
+  for i := 0 to n - 1 do
+    write(a[i])
+end.
+"""
+
+
+def reference(inputs: tuple[object, ...]) -> list[object]:
+    n = int(inputs[0])
+    return sorted(int(v) for v in inputs[1 : 1 + n])
+
+
+def _make_data(n: int = 64, seed: int = 7) -> tuple[object, ...]:
+    rng = random.Random(seed)
+    values = [rng.randrange(0, 10_000) for _ in range(n)]
+    return (n, *values)
+
+
+SPEC = register(
+    ProgramSpec(
+        name="SORT",
+        source=SOURCE,
+        inputs=_make_data(),
+        description="Quicksort with an explicit segment stack",
+        reference=reference,
+    )
+)

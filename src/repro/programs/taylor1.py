@@ -1,0 +1,81 @@
+"""TAYLOR1 — Taylor coefficients of a complex analytic function.
+
+Computes the coefficients of ``f(z) = exp(c·z) / (1 - z)`` for a complex
+constant ``c``: the exponential series ``e_n = c·e_{n-1}/n`` (complex
+multiply, real divide) convolved with the all-ones geometric series,
+which reduces to complex prefix sums.  Heavy straight-line complex
+arithmetic on scalars — exactly the kind of code the paper's techniques
+target.
+"""
+
+from __future__ import annotations
+
+from .registry import ProgramSpec, register
+
+SOURCE = """
+program taylor1;
+var
+  n, nterms: int;
+  cr, ci, er, ei, tr, ti, sr, si, denom: real;
+  are: array[48] of real;
+  aim: array[48] of real;
+begin
+  read(nterms);
+  read(cr);
+  read(ci);
+  er := 1.0; ei := 0.0;
+  sr := 0.0; si := 0.0;
+  for n := 0 to nterms - 1 do begin
+    if n > 0 then begin
+      tr := cr * er - ci * ei;
+      ti := cr * ei + ci * er;
+      denom := float(n);
+      er := tr / denom;
+      ei := ti / denom
+    end;
+    sr := sr + er;
+    si := si + ei;
+    are[n] := sr;
+    aim[n] := si
+  end;
+  for n := 0 to nterms - 1 do begin
+    write(are[n]);
+    write(aim[n])
+  end
+end.
+"""
+
+
+def reference(inputs: tuple[object, ...]) -> list[object]:
+    nterms = int(inputs[0])
+    cr, ci = float(inputs[1]), float(inputs[2])
+    er, ei = 1.0, 0.0
+    sr, si = 0.0, 0.0
+    are, aim = [], []
+    for n in range(nterms):
+        if n > 0:
+            tr = cr * er - ci * ei
+            ti = cr * ei + ci * er
+            denom = float(n)
+            er = tr / denom
+            ei = ti / denom
+        sr += er
+        si += ei
+        are.append(sr)
+        aim.append(si)
+    out: list[object] = []
+    for n in range(nterms):
+        out.append(are[n])
+        out.append(aim[n])
+    return out
+
+
+SPEC = register(
+    ProgramSpec(
+        name="TAYLOR1",
+        source=SOURCE,
+        inputs=(24, 0.5, -0.75),
+        description="Taylor coefficients of exp(c z)/(1-z), complex c",
+        reference=reference,
+    )
+)

@@ -1,0 +1,42 @@
+"""Smoke tests for the report module's section generators."""
+
+from repro.analysis.report import figures_report, worstcase_report
+
+
+def test_figures_report_contains_all_four():
+    text = figures_report()
+    for label in ("Fig. 1", "Fig. 3", "Fig. 5", "Fig. 8"):
+        assert label in text
+    assert "extra copies: 1" in text
+    assert "removed [5]" in text
+    assert "3 copies of V4" in text
+
+
+def test_worstcase_report_checks_bounds():
+    text = worstcase_report()
+    assert "H_m" in text
+    assert "<= H_m: True" in text
+    assert "(n-k)/2" in text
+
+
+def test_table_formatters():
+    from repro.analysis.table1 import Table1, Table1Row
+    from repro.analysis.table2 import Table2, Table2Cell, Table2Row
+
+    t1 = Table1(
+        8,
+        "hitting_set",
+        [Table1Row("DEMO", {"STOR1": 10, "STOR2": 9, "STOR3": 10},
+                   {"STOR1": 0, "STOR2": 1, "STOR3": 0},
+                   {"STOR1": 0, "STOR2": 0, "STOR3": 0})],
+    )
+    text = t1.format()
+    assert "DEMO" in text and "STOR2" in text
+
+    t2 = Table2(
+        (8, 4),
+        [Table2Row("DEMO", {8: Table2Cell(1.1, 1.2, 1.05),
+                            4: Table2Cell(1.15, 1.18, 1.1)})],
+    )
+    text2 = t2.format()
+    assert "DEMO" in text2 and "1.10" in text2 or "1.1" in text2

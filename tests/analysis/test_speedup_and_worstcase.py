@@ -1,0 +1,106 @@
+"""Tests for the speed-up claim and the worst-case gap experiments."""
+
+import pytest
+
+from repro.analysis.speedup import speedup_for_program
+from repro.analysis.workloads import (
+    clustered_instructions,
+    crown_graph_instructions,
+    greedy_hitting_adversary,
+    random_instructions,
+    region_stream,
+)
+from repro.analysis.worstcase import (
+    coloring_gap_crown,
+    coloring_gap_random,
+    h_m,
+    hitting_set_gap_adversary,
+    hitting_set_gap_random,
+)
+from repro.programs import get_program
+
+
+class TestSpeedup:
+    def test_liw_faster_than_sequential(self):
+        row = speedup_for_program(get_program("TAYLOR1"), unroll=2)
+        assert row.speedup_percent > 0
+        assert row.liw_total_time < row.sequential_time
+
+    def test_outputs_validated_internally(self):
+        # speedup_for_program asserts output equality itself
+        row = speedup_for_program(get_program("SORT"), unroll=2)
+        assert row.sequential_ops > row.liw_cycles
+
+
+class TestWorkloads:
+    def test_random_instructions_shape(self):
+        sets = random_instructions(20, 30, 4, seed=1)
+        assert len(sets) == 30
+        assert all(len(s) == 4 for s in sets)
+        assert all(v < 20 for s in sets for v in s)
+
+    def test_random_instructions_deterministic(self):
+        assert random_instructions(10, 10, 3, seed=5) == random_instructions(
+            10, 10, 3, seed=5
+        )
+
+    def test_random_instructions_validates(self):
+        with pytest.raises(ValueError):
+            random_instructions(2, 5, 3)
+
+    def test_clustered_instructions_cluster_locality(self):
+        sets = clustered_instructions(
+            n_clusters=3,
+            values_per_cluster=6,
+            instructions_per_cluster=5,
+            shared_values=2,
+            operands_per_instr=3,
+            seed=0,
+        )
+        assert len(sets) == 15
+        shared = {0, 1}
+        for s in sets:
+            locals_ = s - shared
+            # all locals of one instruction come from one cluster
+            clusters = {(v - 2) // 6 for v in locals_}
+            assert len(clusters) <= 1
+
+    def test_crown_graph_bipartite(self):
+        sets = crown_graph_instructions(4)
+        for s in sets:
+            a, b = sorted(s)
+            assert a < 4 <= b
+
+    def test_region_stream_covers_everything(self):
+        sets = random_instructions(10, 20, 3, seed=2)
+        regions = region_stream(sets, 4)
+        assert sum(len(r) for r in regions) == 20
+
+
+class TestColoringGaps:
+    def test_crown_graph_optimal_known(self):
+        gap = coloring_gap_crown(5)
+        assert gap.optimal_removed == 0
+        assert gap.heuristic_removed >= 0
+
+    def test_random_gap_heuristic_never_better(self):
+        for seed in range(5):
+            gap = coloring_gap_random(7, 3, 0.5, seed)
+            assert gap.heuristic_removed >= gap.optimal_removed
+
+
+class TestHittingSetGaps:
+    def test_h_m_series(self):
+        assert h_m(1) == 1.0
+        assert h_m(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_adversary_respects_bound(self):
+        for m in (2, 4, 6):
+            gap = hitting_set_gap_adversary(m)
+            assert gap.optimal_size <= gap.paper_size
+            assert gap.paper_ratio <= gap.h_m_bound + 1e-9
+
+    def test_random_gap_valid(self):
+        gap = hitting_set_gap_random(10, 8, 3, seed=3)
+        assert gap.optimal_size <= gap.paper_size
+        assert gap.optimal_size <= gap.greedy_size

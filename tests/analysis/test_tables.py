@@ -1,0 +1,90 @@
+"""Integration tests for the Table 1 / Table 2 harnesses.
+
+These run at a reduced configuration (smaller unroll) to stay fast; the
+full paper-scale numbers live in the benchmarks and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis.table1 import generate_table1, table1_for_program
+from repro.analysis.table2 import table2_cell
+from repro.liw.machine import MachineConfig
+from repro.pipeline import compile_for_paper
+from repro.programs import all_programs, get_program
+
+
+@pytest.fixture(scope="module")
+def table1_small():
+    return generate_table1(
+        machine=MachineConfig(num_fus=4, num_modules=8), unroll=2
+    )
+
+
+def test_table1_has_all_programs(table1_small):
+    assert [r.program for r in table1_small.rows] == [
+        "TAYLOR1", "TAYLOR2", "EXACT", "FFT", "SORT", "COLOR",
+    ]
+
+
+def test_table1_counts_nonnegative(table1_small):
+    for row in table1_small.rows:
+        for s in ("STOR1", "STOR2", "STOR3"):
+            assert row.singles[s] > 0
+            assert row.multiples[s] >= 0
+
+
+def test_table1_total_scalars_strategy_independent(table1_small):
+    """The same program has the same number of scalars under every
+    strategy — only the copy counts differ."""
+    for row in table1_small.rows:
+        totals = {
+            s: row.singles[s] + row.multiples[s]
+            for s in ("STOR1", "STOR2", "STOR3")
+        }
+        assert len(set(totals.values())) == 1, (row.program, totals)
+
+
+def test_table1_stor1_duplicates_least(table1_small):
+    """Paper §3: STOR1 duplicates least; STOR2 is the worst."""
+    total_stor1 = sum(r.multiples["STOR1"] for r in table1_small.rows)
+    total_stor2 = sum(r.multiples["STOR2"] for r in table1_small.rows)
+    total_stor3 = sum(r.multiples["STOR3"] for r in table1_small.rows)
+    assert total_stor1 <= total_stor3 <= total_stor2
+
+
+def test_table1_stor1_nearly_no_duplication(table1_small):
+    """Paper §3: 'Almost no duplication had to be done ... when strategy
+    STOR1 was used.'"""
+    for row in table1_small.rows:
+        total = row.singles["STOR1"] + row.multiples["STOR1"]
+        assert row.multiples["STOR1"] <= max(2, total * 0.08), row.program
+
+
+def test_table1_format_renders(table1_small):
+    text = table1_small.format()
+    assert "STOR1" in text and "TAYLOR1" in text
+
+
+def test_table1_single_program_row():
+    spec = get_program("SORT")
+    prog = compile_for_paper(
+        spec.source, MachineConfig(num_fus=4, num_modules=8), unroll=2
+    )
+    row = table1_for_program(prog, "SORT")
+    assert row.program == "SORT"
+    assert set(row.singles) == {"STOR1", "STOR2", "STOR3"}
+
+
+@pytest.mark.parametrize("k", [8, 4])
+def test_table2_cell_ratios_sane(k):
+    spec = get_program("SORT")
+    cell = table2_cell(spec, k, unroll=2)
+    assert 1.0 <= cell.ave_ratio <= cell.max_ratio
+    assert cell.max_ratio < 9.0
+    assert 1.0 <= cell.actual_ratio <= cell.max_ratio + 1e-9
+
+
+def test_table2_ave_between_min_and_max_all_programs():
+    for spec in all_programs()[:3]:
+        cell = table2_cell(spec, 8, unroll=1)
+        assert 1.0 <= cell.ave_ratio <= cell.max_ratio

@@ -1,0 +1,73 @@
+"""Tests for the naive baselines, and the headline comparison: the
+paper's allocator avoids conflicts the baselines leave behind."""
+
+from repro.analysis.workloads import random_instructions
+from repro.baselines import (
+    BASELINES,
+    first_fit_coloring,
+    random_assignment,
+    round_robin,
+    single_module,
+)
+from repro.core import assign_modules, conflicting_instructions
+
+
+def workload():
+    return random_instructions(24, 40, 4, seed=11)
+
+
+def test_all_baselines_total():
+    sets = workload()
+    values = set().union(*sets)
+    for name, fn in BASELINES.items():
+        alloc = fn(sets, 8)
+        for v in values:
+            assert alloc.is_placed(v), (name, v)
+
+
+def test_single_module_conflicts_everywhere():
+    sets = workload()
+    alloc = single_module(sets, 8)
+    bad = conflicting_instructions(sets, alloc)
+    assert len(bad) == len([s for s in sets if len(s) > 1])
+
+
+def test_round_robin_some_conflicts_remain():
+    sets = workload()
+    alloc = round_robin(sets, 8)
+    assert conflicting_instructions(sets, alloc)
+
+
+def test_random_assignment_seeded():
+    sets = workload()
+    a = random_assignment(sets, 8, seed=3)
+    b = random_assignment(sets, 8, seed=3)
+    assert a.as_dict() == b.as_dict()
+
+
+def test_first_fit_reduces_conflicts_vs_round_robin():
+    sets = workload()
+    ff = conflicting_instructions(sets, first_fit_coloring(sets, 8))
+    rr = conflicting_instructions(sets, round_robin(sets, 8))
+    assert len(ff) <= len(rr)
+
+
+def test_paper_allocator_beats_every_baseline():
+    sets = workload()
+    paper = assign_modules(sets, 8)
+    paper_bad = len(conflicting_instructions(sets, paper.allocation))
+    assert paper_bad == 0
+    for name, fn in BASELINES.items():
+        baseline_bad = len(conflicting_instructions(sets, fn(sets, 8)))
+        assert paper_bad <= baseline_bad, name
+
+
+def test_paper_allocator_uses_fewer_copies_than_first_fit_blowup():
+    sets = workload()
+    paper = assign_modules(sets, 8)
+    ff = first_fit_coloring(sets, 8)
+    # the paper's allocator never uses more copies than first-fit's
+    # crude doubling
+    assert paper.allocation.total_copies <= ff.total_copies + len(
+        paper.allocation.values()
+    )

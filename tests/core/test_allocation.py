@@ -1,0 +1,95 @@
+"""Unit tests for the Allocation container."""
+
+import pytest
+
+from repro.core import Allocation
+
+
+def test_place_and_query():
+    a = Allocation(4)
+    a.place(1, 2)
+    assert a.modules(1) == frozenset({2})
+    assert a.copy_count(1) == 1
+    assert a.is_placed(1)
+    assert not a.is_placed(2)
+
+
+def test_place_twice_rejected():
+    a = Allocation(4)
+    a.place(1, 0)
+    with pytest.raises(ValueError):
+        a.place(1, 1)
+
+
+def test_add_copy_accumulates():
+    a = Allocation(4)
+    a.add_copy(1, 0)
+    a.add_copy(1, 3)
+    assert a.modules(1) == frozenset({0, 3})
+    assert a.copy_count(1) == 2
+
+
+def test_duplicate_copy_rejected():
+    a = Allocation(4)
+    a.add_copy(1, 0)
+    with pytest.raises(ValueError):
+        a.add_copy(1, 0)
+
+
+def test_module_range_checked():
+    a = Allocation(4)
+    with pytest.raises(ValueError):
+        a.add_copy(1, 4)
+    with pytest.raises(ValueError):
+        a.add_copy(1, -1)
+
+
+def test_single_and_multi_lists():
+    a = Allocation(4)
+    a.add_copy(1, 0)
+    a.add_copy(2, 1)
+    a.add_copy(2, 2)
+    assert a.single_copy_values() == [1]
+    assert a.multi_copy_values() == [2]
+    assert a.total_copies == 3
+    assert a.extra_copies == 1
+
+
+def test_copy_is_independent():
+    a = Allocation(4)
+    a.add_copy(1, 0)
+    b = a.copy()
+    b.add_copy(1, 1)
+    assert a.copy_count(1) == 1
+    assert b.copy_count(1) == 2
+
+
+def test_history_records_creation_order():
+    a = Allocation(4)
+    a.add_copy(5, 1)
+    a.add_copy(3, 0)
+    a.add_copy(5, 2)
+    assert a.history == [(5, 1), (3, 0), (5, 2)]
+
+
+def test_grid_rendering():
+    a = Allocation(3)
+    a.add_copy(1, 0)
+    a.add_copy(2, 2)
+    grid = a.grid()
+    assert "M1" in grid and "M3" in grid
+    lines = grid.splitlines()
+    assert any("x" in line and line.startswith("V1") for line in lines)
+
+
+def test_as_dict():
+    a = Allocation(3)
+    a.add_copy(1, 0)
+    a.add_copy(1, 1)
+    assert a.as_dict() == {1: frozenset({0, 1})}
+
+
+def test_unplaced_value_has_empty_modules():
+    a = Allocation(3)
+    assert a.modules(42) == frozenset()
+    assert a.copy_count(42) == 0

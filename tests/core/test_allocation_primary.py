@@ -1,0 +1,52 @@
+"""Tests for primary-copy semantics and error diagnostics."""
+
+import pytest
+
+from repro.core import Allocation
+from repro.lang import LexError, ParseError, SemanticError
+from repro.lang.errors import LangError, SourceLocation
+
+
+def test_primary_is_first_placed():
+    a = Allocation(4)
+    a.add_copy(1, 2)
+    a.add_copy(1, 0)
+    a.add_copy(1, 3)
+    assert a.primary(1) == 2
+
+
+def test_primary_unplaced_raises():
+    a = Allocation(4)
+    with pytest.raises(KeyError):
+        a.primary(9)
+
+
+def test_primary_survives_copy():
+    a = Allocation(4)
+    a.add_copy(5, 3)
+    b = a.copy()
+    b.add_copy(5, 0)
+    assert b.primary(5) == 3
+
+
+def test_source_location_str():
+    assert str(SourceLocation(3, 14)) == "3:14"
+
+
+def test_lang_error_includes_location():
+    err = LangError("bad thing", SourceLocation(2, 5))
+    assert "bad thing" in str(err)
+    assert "2:5" in str(err)
+    assert err.location.line == 2
+
+
+def test_lang_error_without_location():
+    err = LangError("oops")
+    assert str(err) == "oops"
+    assert err.location is None
+
+
+def test_error_hierarchy():
+    assert issubclass(LexError, LangError)
+    assert issubclass(ParseError, LangError)
+    assert issubclass(SemanticError, LangError)

@@ -1,0 +1,215 @@
+"""Unit and property tests for MCS-M and atom decomposition."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConflictGraph, decompose_atoms, has_clique_separator, mcs_m
+
+
+def graph_from_edges(edges):
+    return ConflictGraph.from_operand_sets([{u, v} for u, v in edges])
+
+
+def is_chordal(adj):
+    """Brute-force chordality: every cycle >= 4 has a chord.  Checked via
+    perfect elimination order search (small graphs only)."""
+    adj = {v: set(ns) for v, ns in adj.items()}
+    while adj:
+        simplicial = None
+        for v, ns in adj.items():
+            if all(b in adj[a] for a in ns for b in ns if a < b):
+                simplicial = v
+                break
+        if simplicial is None:
+            return False
+        for u in adj[simplicial]:
+            adj[u].discard(simplicial)
+        del adj[simplicial]
+    return True
+
+
+# ---------------------------------------------------------------------------
+# MCS-M
+# ---------------------------------------------------------------------------
+
+
+def test_mcs_m_on_chordal_graph_adds_no_fill():
+    # a tree is chordal: MCS-M must not add fill edges
+    g = graph_from_edges([(0, 1), (1, 2), (1, 3), (3, 4)])
+    h_adj, order = mcs_m(g)
+    assert all(h_adj[v] == g.adj[v] for v in g.nodes)
+    assert len(order) == len(g.nodes)
+
+
+def test_mcs_m_triangulates_cycle():
+    g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+    h_adj, _ = mcs_m(g)
+    added = sum(len(h_adj[v] - g.adj[v]) for v in g.nodes) // 2
+    assert added == 1  # C4 needs exactly one chord
+
+
+def test_mcs_m_result_is_chordal_c5():
+    g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+    h_adj, _ = mcs_m(g)
+    assert is_chordal(h_adj)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        min_size=1,
+        max_size=16,
+    )
+)
+def test_mcs_m_always_chordal(edges):
+    g = graph_from_edges(edges)
+    h_adj, order = mcs_m(g)
+    assert is_chordal({v: set(ns) for v, ns in h_adj.items()})
+    assert sorted(order) == sorted(g.nodes)
+    # fill only adds edges
+    for v in g.nodes:
+        assert g.adj[v] <= h_adj[v]
+
+
+# ---------------------------------------------------------------------------
+# Atom decomposition
+# ---------------------------------------------------------------------------
+
+
+def brute_force_has_clique_separator(g: ConflictGraph) -> bool:
+    nodes = sorted(g.nodes)
+    if len(nodes) <= 2:
+        return False
+    for r in range(0, len(nodes) - 1):
+        for sep in itertools.combinations(nodes, r):
+            sep_set = set(sep)
+            if not g.is_clique(sep_set):
+                continue
+            rest = [v for v in nodes if v not in sep_set]
+            if not rest:
+                continue
+            # connected components of g - sep
+            comp = set()
+            stack = [rest[0]]
+            while stack:
+                v = stack.pop()
+                if v in comp or v in sep_set:
+                    continue
+                comp.add(v)
+                stack.extend(g.adj[v] - comp - sep_set)
+            if len(comp) < len(rest):
+                return True
+    return False
+
+
+def test_clique_splits_path():
+    # path a-b-c: b is a clique separator
+    g = graph_from_edges([(0, 1), (1, 2)])
+    dec = decompose_atoms(g)
+    assert len(dec.atoms) == 2
+    assert frozenset({1}) in dec.separators
+
+
+def test_cycle_is_an_atom():
+    g = graph_from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+    dec = decompose_atoms(g)
+    assert len(dec.atoms) == 1
+    assert dec.atoms[0].nodes == {0, 1, 2, 3}
+
+
+def test_two_triangles_sharing_edge_split():
+    g = graph_from_edges(
+        [(0, 1), (1, 2), (0, 2), (1, 3), (2, 3)]
+    )
+    dec = decompose_atoms(g)
+    assert len(dec.atoms) == 2
+    assert frozenset({1, 2}) in dec.separators
+
+
+def test_disconnected_components_split():
+    g = graph_from_edges([(0, 1), (2, 3)])
+    dec = decompose_atoms(g)
+    assert len(dec.atoms) == 2
+    assert frozenset() in dec.separators
+
+
+def test_max_nodes_skips_decomposition():
+    g = graph_from_edges([(0, 1), (1, 2)])
+    dec = decompose_atoms(g, max_nodes=2)
+    assert len(dec.atoms) == 1  # component too large to decompose
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_atoms_have_no_clique_separator(edges):
+    g = graph_from_edges(edges)
+    dec = decompose_atoms(g)
+    for atom in dec.atoms:
+        assert not brute_force_has_clique_separator(atom)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        min_size=1,
+        max_size=14,
+    )
+)
+def test_atoms_cover_all_edges_and_nodes(edges):
+    g = graph_from_edges(edges)
+    dec = decompose_atoms(g)
+    covered_nodes = set().union(*(a.nodes for a in dec.atoms))
+    assert covered_nodes == g.nodes
+    for u, v in g.edges():
+        assert any(
+            u in a.nodes and v in a.nodes and a.has_edge(u, v)
+            for a in dec.atoms
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_has_clique_separator_matches_brute_force(edges):
+    g = graph_from_edges(edges)
+    # Restrict to connected graphs: the helper treats disconnection
+    # separately.
+    if len(g.components()) != 1:
+        return
+    assert has_clique_separator(g) == brute_force_has_clique_separator(g)
+
+
+def test_atom_order_has_running_intersection():
+    # For every atom, its overlap with the union of earlier atoms must be
+    # a clique (what the sequential colouring composition relies on).
+    g = graph_from_edges(
+        [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6), (4, 6), (1, 7)]
+    )
+    dec = decompose_atoms(g)
+    seen: set[int] = set()
+    for atom in dec.atoms:
+        overlap = atom.nodes & seen
+        assert g.is_clique(overlap), overlap
+        seen |= atom.nodes

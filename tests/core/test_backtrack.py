@@ -1,0 +1,106 @@
+"""Unit and property tests for the Fig. 6 backtracking approach."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    Allocation,
+    ConflictGraph,
+    backtrack_duplication,
+    color_graph,
+    verify_allocation,
+)
+
+
+def run_backtrack(sets, k, tie_break="first"):
+    sets = [frozenset(s) for s in sets]
+    graph = ConflictGraph.from_operand_sets(sets)
+    coloring = color_graph(graph, k)
+    alloc = Allocation(k)
+    for v, m in coloring.assignment.items():
+        alloc.add_copy(v, m)
+    stats = backtrack_duplication(
+        sets, alloc, coloring.unassigned, tie_break=tie_break
+    )
+    return alloc, coloring, stats
+
+
+def test_no_unassigned_is_noop():
+    alloc, coloring, stats = run_backtrack([{1, 2}, {2, 3}], 3)
+    assert not coloring.unassigned
+    assert stats.copies_created == 0
+    assert alloc.extra_copies == 0
+
+
+def test_paper_fig1_extension_one_copy():
+    sets = [{1, 2, 4}, {2, 3, 5}, {2, 3, 4}, {2, 4, 5}]
+    alloc, _, _ = run_backtrack(sets, 3)
+    assert verify_allocation(sets, alloc)
+    assert alloc.extra_copies <= 2  # optimal is 1; heuristic may add one
+
+
+def test_reuses_existing_copies():
+    # two instructions that can share one new copy of the same value
+    sets = [{1, 2, 5}, {1, 2, 5}]
+    alloc, _, stats = run_backtrack(sets, 3)
+    assert verify_allocation(sets, alloc)
+    # second occurrence reuses whatever the first created
+    assert stats.copies_created <= 1 + alloc.copy_count(5)
+
+
+def test_unreferenced_unassigned_gets_storage():
+    k = 2
+    alloc = Allocation(k)
+    stats = backtrack_duplication([], alloc, [9])
+    assert alloc.is_placed(9)
+    assert stats.unreferenced_placed == [9]
+
+
+def test_instructions_ordered_by_duplicable_count():
+    # the one-option instruction must be processed before the flexible one
+    k = 3
+    sets = [
+        frozenset({1, 2, 5, }),          # one unassigned operand
+        frozenset({5, 6}),               # two unassigned operands
+    ]
+    alloc = Allocation(k)
+    alloc.add_copy(1, 0)
+    alloc.add_copy(2, 1)
+    stats = backtrack_duplication(sets, alloc, [5, 6])
+    assert stats.instructions_processed == 2
+    assert verify_allocation(sets, alloc)
+
+
+@st.composite
+def workloads(draw):
+    k = draw(st.integers(2, 5))
+    n_instr = draw(st.integers(1, 12))
+    sets = [
+        draw(
+            st.frozensets(
+                st.integers(0, 9), min_size=2, max_size=k
+            )
+        )
+        for _ in range(n_instr)
+    ]
+    return sets, k
+
+
+@settings(max_examples=80, deadline=None)
+@given(workloads())
+def test_backtrack_always_conflict_free(workload):
+    sets, k = workload
+    alloc, coloring, _ = run_backtrack(sets, k)
+    assert verify_allocation(sets, alloc)
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads())
+def test_backtrack_copy_counts_bounded(workload):
+    sets, k = workload
+    alloc, coloring, _ = run_backtrack(sets, k)
+    # every value has between 1 and k copies
+    for v in alloc.values():
+        assert 1 <= alloc.copy_count(v) <= k
+    # only removed values may have copies
+    for v in alloc.multi_copy_values():
+        assert v in coloring.unassigned

@@ -1,0 +1,141 @@
+"""Unit and property tests for the Fig. 4 colouring heuristic."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConflictGraph, color_atom, color_graph
+
+
+def graph_of(sets):
+    return ConflictGraph.from_operand_sets(sets)
+
+
+def test_triangle_three_colors():
+    g = graph_of([{1, 2, 3}])
+    res = color_graph(g, 3)
+    assert not res.unassigned
+    assert len({res.assignment[v] for v in (1, 2, 3)}) == 3
+
+
+def test_triangle_two_colors_removes_one():
+    g = graph_of([{1, 2, 3}])
+    res = color_graph(g, 2)
+    assert len(res.unassigned) == 1
+    assert len(res.assignment) == 2
+    assert res.is_proper(g)
+
+
+def test_first_node_is_max_weight_and_gets_m1():
+    # V1 participates in the most conflicts
+    g = graph_of([{1, 2}, {1, 3}, {1, 4}, {1, 2}, {2, 3}, {3, 4}, {2, 4}])
+    res = color_atom(g, 3)
+    first_step = res.trace[0]
+    assert first_step.action == "first"
+    assert first_step.node == 1
+    assert first_step.module == 0
+
+
+def test_low_degree_nodes_have_zero_outgoing_weight():
+    # a pendant node (degree < k) must never be picked first
+    g = graph_of([{1, 2}, {2, 3}, {1, 3}, {3, 4}])
+    res = color_atom(g, 3)
+    assert res.trace[0].node != 4
+
+
+def test_k0_node_removed():
+    # star centre with k distinctly coloured neighbours around it
+    g = graph_of([{0, 1, 2}, {0, 1, 2}])  # triangle with high conf
+    res = color_graph(g, 2)
+    assert len(res.unassigned) == 1
+
+
+def test_preassigned_respected():
+    g = graph_of([{1, 2}, {2, 3}])
+    res = color_atom(g, 3, preassigned={2: 1})
+    assert res.assignment[2] == 1
+    assert res.assignment[1] != 1
+    assert res.assignment[3] != 1
+
+
+def test_module_choice_least_used_spreads():
+    # independent nodes: 'first' stacks everything on M1, 'least_used'
+    # spreads across modules
+    g = graph_of([{i} for i in range(6)])
+    first = color_graph(g, 3, module_choice="first")
+    spread = color_graph(g, 3, module_choice="least_used")
+    assert len(set(first.assignment.values())) == 1
+    assert len(set(spread.assignment.values())) == 3
+
+
+def test_atoms_and_whole_graph_agree_on_properness():
+    sets = [{1, 2, 3}, {3, 4, 5}, {5, 6, 7}, {1, 6}]
+    g = graph_of(sets)
+    with_atoms = color_graph(g, 3, use_atoms=True)
+    without = color_graph(g, 3, use_atoms=False)
+    assert with_atoms.is_proper(g)
+    assert without.is_proper(g)
+
+
+def test_empty_graph():
+    g = ConflictGraph()
+    res = color_graph(g, 4)
+    assert res.assignment == {}
+    assert res.unassigned == []
+
+
+def test_trace_records_every_node_once():
+    sets = [{1, 2, 3}, {2, 3, 4}, {1, 4}]
+    g = graph_of(sets)
+    res = color_graph(g, 2)
+    acted = [s.node for s in res.trace if s.action in ("first", "assigned", "removed")]
+    assert sorted(set(acted)) == sorted(g.nodes)
+
+
+@st.composite
+def random_operand_sets(draw):
+    n_instr = draw(st.integers(1, 15))
+    return [
+        draw(st.frozensets(st.integers(0, 10), min_size=2, max_size=4))
+        for _ in range(n_instr)
+    ]
+
+
+@settings(max_examples=80, deadline=None)
+@given(random_operand_sets(), st.integers(2, 5), st.booleans())
+def test_coloring_always_proper(sets, k, use_atoms):
+    g = graph_of(sets)
+    res = color_graph(g, k, use_atoms=use_atoms)
+    assert res.is_proper(g)
+    # every node is either coloured or removed, never both
+    assert set(res.assignment) | set(res.unassigned) == g.nodes
+    assert not (set(res.assignment) & set(res.unassigned))
+    # colours are valid module indices
+    assert all(0 <= c < k for c in res.assignment.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_operand_sets(), st.integers(2, 4))
+def test_coloring_deterministic(sets, k):
+    g = graph_of(sets)
+    a = color_graph(g, k)
+    b = color_graph(g, k)
+    assert a.assignment == b.assignment
+    assert a.unassigned == b.unassigned
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_operand_sets(), st.integers(2, 4))
+def test_preassignment_is_stable(sets, k):
+    g = graph_of(sets)
+    first_pass = color_graph(g, k)
+    pre = dict(list(first_pass.assignment.items())[:2])
+    second = color_graph(g, k, preassigned=pre)
+    for v, c in pre.items():
+        assert second.assignment.get(v) == c
+
+
+def test_conflicting_preassignment_demoted():
+    # two adjacent nodes preassigned the same module: one must be demoted
+    g = graph_of([{1, 2}])
+    res = color_graph(g, 3, preassigned={1: 0, 2: 0})
+    assert res.is_proper(g)
+    assert len(res.unassigned) == 1

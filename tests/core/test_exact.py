@@ -1,0 +1,98 @@
+"""Unit tests for the exact reference algorithms."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ConflictGraph,
+    color_graph,
+    exact_coloring,
+    is_k_colorable,
+    min_removal_coloring,
+    min_total_copies,
+    verify_allocation,
+)
+
+
+def graph_of(sets):
+    return ConflictGraph.from_operand_sets(sets)
+
+
+def test_triangle_colorability():
+    g = graph_of([{1, 2, 3}])
+    assert not is_k_colorable(g, 2)
+    assert is_k_colorable(g, 3)
+
+
+def test_exact_coloring_is_proper():
+    g = graph_of([{1, 2}, {2, 3}, {3, 4}, {4, 1}])
+    coloring = exact_coloring(g, 2)
+    assert coloring is not None
+    for u, v in g.edges():
+        assert coloring[u] != coloring[v]
+
+
+def test_odd_cycle_needs_three():
+    g = graph_of([{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 1}])
+    assert not is_k_colorable(g, 2)
+    assert is_k_colorable(g, 3)
+
+
+def test_min_removal_on_k4():
+    g = graph_of([{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}])
+    removed, coloring = min_removal_coloring(g, 3)
+    assert len(removed) == 1
+    rest = g.subgraph(set(g.nodes) - removed)
+    for u, v in rest.edges():
+        assert coloring[u] != coloring[v]
+
+
+def test_min_removal_zero_when_colorable():
+    g = graph_of([{1, 2}, {3, 4}])
+    removed, _ = min_removal_coloring(g, 2)
+    assert removed == set()
+
+
+def test_min_total_copies_fig1():
+    sets = [{1, 2, 4}, {2, 3, 5}, {2, 3, 4}]
+    alloc = min_total_copies(sets, 3)
+    assert alloc is not None
+    assert alloc.total_copies == 5
+    assert verify_allocation(sets, alloc)
+
+
+def test_min_total_copies_needs_duplicate():
+    sets = [{1, 2, 4}, {2, 3, 5}, {2, 3, 4}, {2, 4, 5}]
+    alloc = min_total_copies(sets, 3)
+    assert alloc is not None
+    assert alloc.total_copies == 6  # exactly one extra copy
+    assert verify_allocation(sets, alloc)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.frozensets(st.integers(0, 6), min_size=2, max_size=3),
+        min_size=1,
+        max_size=8,
+    ),
+    st.integers(2, 3),
+)
+def test_heuristic_never_beats_exact_removal(sets, k):
+    g = graph_of(sets)
+    heur = color_graph(g, k)
+    removed, _ = min_removal_coloring(g, k)
+    assert len(heur.unassigned) >= len(removed)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.frozensets(st.integers(0, 4), min_size=2, max_size=3),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_min_total_copies_valid(sets):
+    alloc = min_total_copies(sets, 3)
+    assert alloc is not None
+    assert verify_allocation(sets, alloc)

@@ -1,0 +1,116 @@
+"""Unit and property tests for the hitting-set heuristics (Fig. 9)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    greedy_hitting_set,
+    is_hitting_set,
+    min_hitting_set,
+    paper_hitting_set,
+)
+
+
+def test_singletons_forced():
+    hs = paper_hitting_set([{1}, {2}, {2, 3}], k=3)
+    assert {1, 2} <= hs
+    assert is_hitting_set([{1}, {2}, {2, 3}], hs)
+
+
+def test_already_hit_sets_skipped():
+    # {2,3} is hit by the forced singleton 2: no extra element chosen
+    hs = paper_hitting_set([{2}, {2, 3}], k=3)
+    assert hs == {2}
+
+
+def test_occurrence_vector_preference():
+    # element 5 appears in two 2-sets; 6 and 7 in one each: pick 5
+    sets = [{5, 6}, {5, 7}]
+    hs = paper_hitting_set(sets, k=2)
+    assert hs == {5}
+
+
+def test_lexicographic_tie_broken_by_larger_sets():
+    # 1 and 2 tie on 2-sets; 2 appears in more 3-sets -> prefer 2
+    sets = [{1, 2}, {2, 8, 9}, {2, 8, 10}]
+    hs = paper_hitting_set(sets, k=3)
+    assert 2 in hs
+
+
+def test_deterministic_tie_break():
+    sets = [{4, 9}]
+    a = paper_hitting_set(sets, k=2)
+    b = paper_hitting_set(sets, k=2)
+    assert a == b
+    assert len(a) == 1
+
+
+def test_oversized_set_rejected():
+    with pytest.raises(ValueError):
+        paper_hitting_set([{1, 2, 3}], k=2)
+    with pytest.raises(ValueError):
+        paper_hitting_set([set()], k=2)
+
+
+def test_greedy_hitting_set_simple():
+    sets = [{1, 2}, {1, 3}, {1, 4}, {5}]
+    hs = greedy_hitting_set(sets)
+    assert hs == {1, 5}
+
+
+def test_min_hitting_set_exact():
+    sets = [{1, 2}, {2, 3}, {3, 4}, {4, 1}]
+    opt = min_hitting_set(sets)
+    assert len(opt) == 2
+    assert is_hitting_set(sets, opt)
+
+
+def test_min_hitting_set_empty():
+    assert min_hitting_set([]) == set()
+
+
+@st.composite
+def set_families(draw):
+    k = draw(st.integers(2, 4))
+    n = draw(st.integers(1, 10))
+    fam = [
+        draw(st.frozensets(st.integers(0, 8), min_size=1, max_size=k))
+        for _ in range(n)
+    ]
+    return fam, k
+
+
+@settings(max_examples=80, deadline=None)
+@given(set_families())
+def test_paper_heuristic_always_valid(fam_k):
+    fam, k = fam_k
+    hs = paper_hitting_set(fam, k)
+    assert is_hitting_set(fam, hs)
+
+
+@settings(max_examples=80, deadline=None)
+@given(set_families())
+def test_greedy_always_valid(fam_k):
+    fam, _ = fam_k
+    hs = greedy_hitting_set(fam)
+    assert is_hitting_set(fam, hs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(set_families())
+def test_heuristics_never_beat_optimal(fam_k):
+    fam, k = fam_k
+    opt = min_hitting_set(fam)
+    assert len(paper_hitting_set(fam, k)) >= len(opt)
+    assert len(greedy_hitting_set(fam)) >= len(opt)
+
+
+@settings(max_examples=50, deadline=None)
+@given(set_families())
+def test_optimal_is_valid_and_minimal_locally(fam_k):
+    fam, _ = fam_k
+    opt = min_hitting_set(fam)
+    assert is_hitting_set(fam, opt)
+    # dropping any element breaks it (irredundance)
+    for v in opt:
+        assert not is_hitting_set(fam, opt - {v})

@@ -1,0 +1,101 @@
+"""The paper's worked examples, asserted end to end (Figs. 1, 3, 5, 8)."""
+
+from repro.analysis.figures import (
+    FIG1_INSTRUCTIONS,
+    FIG3_INSTRUCTIONS,
+    FIG8_INSTRUCTIONS,
+    reproduce_fig1,
+    reproduce_fig3,
+    reproduce_fig5,
+    reproduce_fig8,
+)
+from repro.core import min_total_copies, verify_allocation
+
+
+class TestFig1:
+    def test_base_assignment_conflict_free_without_copies(self):
+        result = reproduce_fig1()
+        assert result.base_conflict_free
+        assert result.base_allocation.total_copies == 5
+
+    def test_extra_instruction_forces_exactly_one_copy(self):
+        result = reproduce_fig1()
+        assert result.extra1_copies == 1
+
+    def test_second_extra_forces_two_copies_total(self):
+        result = reproduce_fig1()
+        assert result.extra2_copies == 2
+
+    def test_heuristic_matches_exact_optimum(self):
+        exact = min_total_copies(FIG1_INSTRUCTIONS, 3)
+        assert exact is not None and exact.total_copies == 5
+        result = reproduce_fig1()
+        assert result.extra1_allocation.total_copies == 6
+        assert result.extra2_allocation.total_copies == 7
+
+    def test_backtrack_method_agrees(self):
+        result = reproduce_fig1(method="backtrack")
+        assert result.base_conflict_free
+        assert result.extra1_copies == 1
+
+
+class TestFig3:
+    def test_all_minimum_removals_have_size_two(self):
+        result = reproduce_fig3()
+        assert result.removal_options
+        assert all(len(r) == 2 for r in result.removal_options)
+
+    def test_removal_choice_changes_copy_count(self):
+        result = reproduce_fig3()
+        assert result.spread >= 1  # the figure's whole point
+
+    def test_papers_two_choices_differ(self):
+        result = reproduce_fig3()
+        worse = result.copies_by_removal[frozenset({4, 5})]
+        better = result.copies_by_removal[frozenset({2, 5})]
+        assert better < worse
+
+
+class TestFig5:
+    def test_four_colored_one_removed(self):
+        result = reproduce_fig5()
+        assert sorted(result.colored) == [1, 2, 3, 4]
+        assert result.removed == [5]
+
+    def test_first_three_fill_distinct_modules(self):
+        result = reproduce_fig5()
+        assert {result.colored[1], result.colored[2], result.colored[3]} == {
+            0,
+            1,
+            2,
+        }
+
+    def test_removal_happens_at_infinite_urgency(self):
+        result = reproduce_fig5()
+        removal = next(
+            s for s in result.coloring.trace if s.action == "removed"
+        )
+        assert removal.node == 5
+        assert removal.modules_left == 0
+
+
+class TestFig8:
+    def test_three_copies_of_v4_suffice(self):
+        result = reproduce_fig8()
+        assert result.v4_copies == result.optimal_v4_copies == 3
+
+    def test_allocation_conflict_free(self):
+        result = reproduce_fig8()
+        assert result.conflict_free
+        assert verify_allocation(FIG8_INSTRUCTIONS, result.allocation)
+
+    def test_random_tie_break_also_reaches_three(self):
+        result = reproduce_fig8(tie_break="random")
+        assert result.v4_copies == 3
+
+
+def test_fig3_instance_matches_paper_listing():
+    # six instructions over V1..V5, all of width 3
+    assert len(FIG3_INSTRUCTIONS) == 6
+    assert all(len(s) == 3 for s in FIG3_INSTRUCTIONS)
+    assert set().union(*FIG3_INSTRUCTIONS) == {1, 2, 3, 4, 5}

@@ -1,0 +1,96 @@
+"""Unit tests for the Fig. 10 placement algorithm."""
+
+import random
+
+from repro.core import Allocation, group_instructions, place_copies
+from repro.core.verify import instruction_conflict_free
+
+
+def test_group_instructions_by_duplicable_count():
+    sets = [
+        frozenset({1, 2, 3}),  # one duplicable (3)
+        frozenset({1, 3, 4}),  # two duplicable (3, 4)
+        frozenset({1, 2}),     # zero -> not grouped
+    ]
+    groups = group_instructions(sets, duplicable={3, 4}, k=4)
+    assert groups[1] == [sets[0]]
+    assert groups[2] == [sets[1]]
+    assert sets[2] not in groups[1] + groups[2]
+
+
+def test_single_option_instruction_fixed_first():
+    # I1-group instruction pins the copy's module exactly
+    k = 3
+    alloc = Allocation(k)
+    alloc.add_copy(1, 0)
+    alloc.add_copy(2, 1)
+    sets = [frozenset({1, 2, 3})]
+    place_copies([3], alloc, sets, duplicable={3}, tie_break="first")
+    assert alloc.modules(3) == frozenset({2})
+    assert instruction_conflict_free(sets[0], alloc)
+
+
+def test_placement_maximises_fixed_conflicts():
+    # module 2 fixes two instructions, module 1 only one: pick module 2
+    k = 4
+    alloc = Allocation(k)
+    alloc.add_copy(1, 0)
+    alloc.add_copy(2, 1)
+    alloc.add_copy(4, 3)
+    sets = [
+        frozenset({1, 2, 3}),  # 3 may go to module 2 or 3
+        frozenset({1, 2, 3}),
+        frozenset({1, 4, 3}),  # 3 may go to module 1 or 2
+    ]
+    place_copies([3], alloc, sets, duplicable={3}, tie_break="first")
+    assert alloc.modules(3) == frozenset({2})
+    assert all(instruction_conflict_free(s, alloc) for s in sets)
+
+
+def test_value_order_most_constrained_first():
+    # v5 appears in more I1-group conflicts than v6 -> placed first
+    k = 3
+    alloc = Allocation(k)
+    alloc.add_copy(1, 0)
+    alloc.add_copy(2, 1)
+    sets = [
+        frozenset({1, 2, 5}),
+        frozenset({1, 2, 5}),
+        frozenset({1, 2, 6}),
+    ]
+    place_copies([6, 5], alloc, sets, duplicable={5, 6}, tie_break="first")
+    history_values = [v for v, _ in alloc.history if v in (5, 6)]
+    assert history_values[0] == 5
+
+
+def test_random_tie_break_is_seeded():
+    k = 4
+    sets = [frozenset({1, 2})]
+
+    def run(seed):
+        alloc = Allocation(k)
+        alloc.add_copy(1, 0)
+        rng = random.Random(seed)
+        place_copies([2], alloc, sets, duplicable={2}, rng=rng)
+        return alloc.modules(2)
+
+    assert run(7) == run(7)
+
+
+def test_no_duplicate_copy_created():
+    k = 3
+    alloc = Allocation(k)
+    alloc.add_copy(3, 0)
+    place_copies([3], alloc, [frozenset({3})], duplicable={3}, tie_break="first")
+    # one more copy somewhere else, never a second copy in module 0
+    assert alloc.copy_count(3) == 2
+    assert len(alloc.modules(3)) == 2
+
+
+def test_value_in_all_modules_skipped():
+    k = 2
+    alloc = Allocation(k)
+    alloc.add_copy(3, 0)
+    alloc.add_copy(3, 1)
+    place_copies([3], alloc, [frozenset({3})], duplicable={3}, tie_break="first")
+    assert alloc.copy_count(3) == 2  # unchanged

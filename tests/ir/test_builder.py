@@ -1,0 +1,148 @@
+"""Unit tests for AST -> TAC lowering."""
+
+import pytest
+
+from repro.ir import compile_to_tac, tac
+
+
+def lower(body: str, decls: str = "var x, y, i: int; r: real; b: bool; a: array[8] of int;"):
+    return compile_to_tac(f"program t; {decls} begin {body} end.")
+
+
+def ops_of(prog, kind):
+    return [i for i in prog.instrs if isinstance(i, kind)]
+
+
+def test_assign_scalar_lowered_to_copy():
+    prog = lower("x := 1")
+    copies = ops_of(prog, tac.Unary)
+    assert any(c.op == "copy" and c.dest == tac.Sym("x") for c in copies)
+
+
+def test_binary_expression_creates_temp():
+    prog = lower("x := y + 1")
+    adds = [i for i in ops_of(prog, tac.Binary) if i.op == "add"]
+    assert len(adds) == 1
+    assert adds[0].dest.name.startswith("%t")
+
+
+def test_array_store_and_load():
+    prog = lower("a[i] := a[i+1]")
+    assert len(ops_of(prog, tac.Load)) == 1
+    assert len(ops_of(prog, tac.Store)) == 1
+
+
+def test_for_loop_structure():
+    prog = lower("for i := 0 to 9 do x := x + i")
+    # comparison, conditional jump, increment, back jump
+    assert any(i.op == "le" for i in ops_of(prog, tac.Binary))
+    assert len(ops_of(prog, tac.CJump)) == 1
+    assert any(i.op == "add" and i.dest == tac.Sym("i") for i in ops_of(prog, tac.Binary))
+
+
+def test_downto_uses_ge_and_sub():
+    prog = lower("for i := 9 downto 0 do x := x + i")
+    assert any(i.op == "ge" for i in ops_of(prog, tac.Binary))
+    assert any(i.op == "sub" and i.dest == tac.Sym("i") for i in ops_of(prog, tac.Binary))
+
+
+def test_int_to_real_conversion_materialised():
+    prog = lower("r := x")
+    assert any(i.op == "float" for i in ops_of(prog, tac.Unary))
+
+
+def test_const_int_to_real_folded():
+    prog = lower("r := 1")
+    # no float instruction: the constant is widened at compile time
+    assert not any(i.op == "float" for i in ops_of(prog, tac.Unary))
+
+
+def test_negated_literal_folded():
+    prog = lower("x := -5")
+    assert not any(i.op == "neg" for i in ops_of(prog, tac.Unary))
+
+
+def test_negated_variable_not_folded():
+    prog = lower("x := -y")
+    assert any(i.op == "neg" for i in ops_of(prog, tac.Unary))
+
+
+def test_division_widens_both_sides():
+    prog = lower("r := x / y")
+    floats = [i for i in ops_of(prog, tac.Unary) if i.op == "float"]
+    assert len(floats) == 2
+
+
+def test_intrinsics_lowered():
+    prog = lower("r := sqrt(r); x := min(x, y)")
+    assert any(i.op == "sqrt" for i in ops_of(prog, tac.Unary))
+    assert any(i.op == "min" for i in ops_of(prog, tac.Binary))
+
+
+def test_read_write_lowered():
+    prog = lower("read(x); read(a[0]); write(x)")
+    assert len(ops_of(prog, tac.ReadIn)) == 1
+    assert len(ops_of(prog, tac.ReadArr)) == 1
+    assert len(ops_of(prog, tac.WriteOut)) == 1
+
+
+def test_program_ends_with_halt():
+    prog = lower("x := 1")
+    assert isinstance(prog.instrs[-1], tac.Halt)
+
+
+def test_fresh_temps_never_reused():
+    prog = lower("x := y + 1; x := y + 2; x := y + 3")
+    temp_defs = [
+        i.dest.name
+        for i in prog.instrs
+        if i.defs() and i.defs()[0].name.startswith("%t")
+    ]
+    assert len(temp_defs) == len(set(temp_defs))
+
+
+def test_break_continue_jump_targets():
+    prog = lower("while x > 0 do begin if x = 1 then break; x := x - 1 end")
+    jumps = ops_of(prog, tac.Jump)
+    labels = {i.name for i in ops_of(prog, tac.Label)}
+    assert all(j.target in labels for j in jumps)
+
+
+# -- constants in memory -----------------------------------------------
+
+
+def test_constants_in_memory_interns_reals():
+    src = "program t; var r: real; begin r := 3.5; r := r + 3.5 end."
+    prog = compile_to_tac(src, constants_in_memory=True)
+    assert len(prog.const_table) == 1
+    name, value = next(iter(prog.const_table.items()))
+    assert value == 3.5
+    assert name in prog.scalars
+
+
+def test_small_ints_stay_immediate():
+    src = "program t; var x: int; begin x := 3; x := x + 1000 end."
+    prog = compile_to_tac(src, constants_in_memory=True, immediate_limit=15)
+    assert list(prog.const_table.values()) == [1000]
+
+
+def test_immediate_limit_zero_moves_everything():
+    src = "program t; var x: int; begin x := 3 end."
+    prog = compile_to_tac(src, constants_in_memory=True, immediate_limit=0)
+    assert 3 in prog.const_table.values()
+
+
+def test_distinct_types_distinct_constants():
+    src = "program t; var x: int; r: real; begin x := 100; r := 100.0 end."
+    prog = compile_to_tac(src, constants_in_memory=True)
+    assert sorted(prog.const_table.values(), key=str) in (
+        [100, 100.0],
+        [100.0, 100],
+    )
+    assert len(prog.const_table) == 2
+
+
+def test_default_keeps_constants_immediate():
+    src = "program t; var r: real; begin r := 3.5 end."
+    prog = compile_to_tac(src)
+    assert prog.const_table == {}

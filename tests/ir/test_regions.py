@@ -1,0 +1,98 @@
+"""Unit tests for dominators, loops, and regions."""
+
+from repro.ir import (
+    build_cfg,
+    compile_to_tac,
+    compute_dominators,
+    compute_regions,
+    find_loops,
+    partition_values,
+    rename,
+)
+
+
+def cfg_of(body: str, decls: str = "var x, y, i, j: int;"):
+    return build_cfg(compile_to_tac(f"program t; {decls} begin {body} end."))
+
+
+def test_entry_dominates_everything():
+    cfg = cfg_of("if x > 0 then y := 1 else y := 2; while x > 0 do x := x - 1")
+    dom = compute_dominators(cfg)
+    for b in cfg.blocks:
+        assert 0 in dom[b.index]
+        assert b.index in dom[b.index]
+
+
+def test_no_loops_in_straight_line():
+    cfg = cfg_of("x := 1; y := 2")
+    assert find_loops(cfg) == []
+
+
+def test_single_while_loop_found():
+    cfg = cfg_of("while x > 0 do x := x - 1")
+    loops = find_loops(cfg)
+    assert len(loops) == 1
+    assert loops[0].header in loops[0].body
+
+
+def test_nested_loops_have_depth():
+    cfg = cfg_of(
+        "for i := 0 to 3 do for j := 0 to 3 do x := x + 1"
+    )
+    loops = find_loops(cfg)
+    assert len(loops) == 2
+    depths = sorted(l.depth for l in loops)
+    assert depths == [0, 1]
+    inner = max(loops, key=lambda l: l.depth)
+    outer = min(loops, key=lambda l: l.depth)
+    assert inner.body < outer.body
+    assert inner.parent is not None
+
+
+def test_sequential_loops_are_siblings():
+    cfg = cfg_of(
+        "for i := 0 to 3 do x := x + 1; for j := 0 to 3 do y := y + 1"
+    )
+    loops = find_loops(cfg)
+    assert len(loops) == 2
+    assert all(l.parent is None for l in loops)
+    assert loops[0].body.isdisjoint(loops[1].body)
+
+
+def test_regions_assign_innermost():
+    cfg = cfg_of("for i := 0 to 3 do for j := 0 to 3 do x := x + 1")
+    regions = compute_regions(cfg)
+    assert regions.count == 3  # top level + 2 loops
+    inner_loop = max(regions.loops, key=lambda l: l.depth)
+    inner_region = regions.loops.index(inner_loop) + 1
+    for b in inner_loop.body:
+        assert regions.block_region[b] == inner_region
+
+
+def test_global_local_partition():
+    rn = rename(cfg_of(
+        "x := 0;"
+        "for i := 0 to 3 do x := x + i;"
+        "write(x)"
+    ))
+    part = partition_values(rn)
+    global_names = {v.origin for v in part.global_values}
+    assert "x" in global_names  # defined outside, used inside, used after
+    # every value with sites lands somewhere
+    placed = len(part.global_values) + sum(
+        len(vs) for vs in part.locals_by_region.values()
+    )
+    with_sites = sum(1 for v in rn.values if v.def_sites or v.use_sites)
+    assert placed == with_sites
+
+
+def test_loop_local_temp_is_local():
+    rn = rename(cfg_of("for i := 0 to 3 do x := x + i; write(x)"))
+    part = partition_values(rn)
+    local_temps = [
+        v
+        for vs in part.locals_by_region.values()
+        for v in vs
+        if v.is_temp
+    ]
+    assert local_temps, "loop-body temporaries should be region-local"

@@ -1,0 +1,77 @@
+"""Unit and differential tests for CFG simplification."""
+
+import pytest
+
+from repro.ir import build_cfg, compile_to_tac, run_cfg, tac
+from repro.ir.simplify import merge_blocks, simplify_cfg, thread_jumps
+
+
+def cfgs_of(body: str, decls: str = "var x, y, i: int;", inputs=None):
+    src = f"program t; {decls} begin {body} end."
+    raw = build_cfg(compile_to_tac(src))
+    simplified = simplify_cfg(build_cfg(compile_to_tac(src)))
+    return raw, simplified
+
+
+CASES = [
+    "x := 1; y := 2",
+    "if x > 0 then y := 1 else y := 2; write(y)",
+    "if x > 0 then y := 1; write(y)",
+    "while x < 5 do x := x + 1; write(x)",
+    "for i := 0 to 4 do x := x + i; write(x)",
+    "for i := 0 to 3 do begin if i mod 2 = 0 then x := x + i else y := y + i end; write(x); write(y)",
+    "for i := 0 to 2 do for y := 0 to 2 do x := x + 1; write(x)",
+    "x := 5; while x > 0 do begin if x = 2 then break; x := x - 1 end; write(x)",
+]
+
+
+@pytest.mark.parametrize("body", CASES)
+def test_simplification_preserves_outputs(body):
+    raw, simplified = cfgs_of(body)
+    assert run_cfg(raw).outputs == run_cfg(simplified).outputs
+
+
+@pytest.mark.parametrize("body", CASES)
+def test_simplification_never_adds_blocks(body):
+    raw, simplified = cfgs_of(body)
+    assert len(simplified.blocks) <= len(raw.blocks)
+
+
+def test_straight_line_collapses_to_one_block():
+    _, simplified = cfgs_of("x := 1; y := 2; x := x + y; write(x)")
+    assert len(simplified.blocks) == 1
+
+
+def test_diamond_join_threads_through_endif():
+    raw, simplified = cfgs_of("if x > 0 then y := 1 else y := 2; write(y)")
+    # no jump-only blocks survive
+    for block in simplified.blocks:
+        assert not (
+            len(block.instrs) == 1 and isinstance(block.instrs[0], tac.Jump)
+        )
+
+
+def test_edges_consistent_after_simplify():
+    for body in CASES:
+        _, simplified = cfgs_of(body)
+        for b in simplified.blocks:
+            for s in b.succs:
+                assert b.index in simplified.blocks[s].preds
+            for p in b.preds:
+                assert b.index in simplified.blocks[p].succs
+
+
+def test_thread_jumps_keeps_infinite_loop():
+    # `while true do ;` is an empty infinite loop: a jump to itself must
+    # not be removed or mis-threaded
+    src = "program t; var x: int; begin while true do x := x; write(x) end."
+    cfg = build_cfg(compile_to_tac(src))
+    threaded = thread_jumps(cfg)
+    assert threaded.blocks  # still a valid CFG
+
+
+def test_merge_blocks_idempotent():
+    raw, _ = cfgs_of("if x > 0 then y := 1; write(y)")
+    once = merge_blocks(thread_jumps(raw))
+    twice = merge_blocks(once)
+    assert len(once.blocks) == len(twice.blocks)

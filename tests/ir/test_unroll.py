@@ -1,0 +1,170 @@
+"""Unit and differential tests for AST loop unrolling."""
+
+import pytest
+
+from repro.ir import build_cfg, lower_ast, run_cfg
+from repro.ir.unroll import unroll_program
+from repro.lang import analyze, parse
+
+
+def run_with_unroll(source: str, factor: int, inputs=None, innermost=False):
+    tree = parse(source)
+    unroll_program(tree, factor, innermost_only=innermost)
+    analyze(tree)
+    cfg = build_cfg(lower_ast(tree))
+    return run_cfg(cfg, inputs)
+
+
+def run_plain(source: str, inputs=None):
+    tree = parse(source)
+    analyze(tree)
+    return run_cfg(build_cfg(lower_ast(tree)))
+
+
+SUM_SRC = """
+program s; var i, n, acc: int;
+begin
+  acc := 0;
+  for i := 0 to 10 do acc := acc + i;
+  write(acc); write(i)
+end.
+"""
+
+
+@pytest.mark.parametrize("factor", [2, 3, 4, 5, 8])
+def test_unrolled_sum_matches(factor):
+    assert run_with_unroll(SUM_SRC, factor).outputs == run_plain(SUM_SRC).outputs
+
+
+@pytest.mark.parametrize("factor", [2, 3, 4])
+def test_downto_unrolled(factor):
+    src = """
+    program d; var i, acc: int;
+    begin
+      acc := 0;
+      for i := 9 downto 0 do acc := acc * 2 + i;
+      write(acc)
+    end.
+    """
+    assert run_with_unroll(src, factor).outputs == run_plain(src).outputs
+
+
+@pytest.mark.parametrize("trip", [0, 1, 2, 3, 4, 5, 6, 7])
+def test_remainder_loops_all_trip_counts(trip):
+    src = f"""
+    program r; var i, acc: int;
+    begin
+      acc := 0;
+      for i := 1 to {trip} do acc := acc + i * i;
+      write(acc)
+    end.
+    """
+    for factor in (2, 3, 4):
+        assert run_with_unroll(src, factor).outputs == run_plain(src).outputs
+
+
+def test_loop_with_break_not_unrolled():
+    src = """
+    program b; var i, acc: int;
+    begin
+      acc := 0;
+      for i := 0 to 100 do begin
+        if i = 3 then break;
+        acc := acc + 1
+      end;
+      write(acc)
+    end.
+    """
+    assert run_with_unroll(src, 4).outputs == run_plain(src).outputs == [3]
+
+
+def test_loop_with_continue_not_unrolled():
+    src = """
+    program c; var i, acc: int;
+    begin
+      acc := 0;
+      for i := 0 to 9 do begin
+        if i mod 2 = 0 then continue;
+        acc := acc + i
+      end;
+      write(acc)
+    end.
+    """
+    assert run_with_unroll(src, 4).outputs == run_plain(src).outputs == [25]
+
+
+def test_nested_break_does_not_block_outer_unroll():
+    src = """
+    program n; var i, j, acc: int;
+    begin
+      acc := 0;
+      for i := 0 to 5 do begin
+        j := 0;
+        while j < 10 do begin
+          if j = 2 then break;
+          j := j + 1
+        end;
+        acc := acc + j
+      end;
+      write(acc)
+    end.
+    """
+    assert run_with_unroll(src, 3).outputs == run_plain(src).outputs == [12]
+
+
+def test_variable_bounds_evaluated_once():
+    src = """
+    program v; var i, n, acc: int;
+    begin
+      read(n);
+      acc := 0;
+      for i := 0 to n do begin n := 0; acc := acc + 1 end;
+      write(acc)
+    end.
+    """
+    for factor in (1, 2, 4):
+        tree = parse(src)
+        unroll_program(tree, factor)
+        analyze(tree)
+        cfg = build_cfg(lower_ast(tree))
+        assert run_cfg(cfg, [5]).outputs == [6]
+
+
+def test_innermost_only_keeps_outer_loop():
+    src = """
+    program m; var i, j, acc: int;
+    begin
+      acc := 0;
+      for i := 0 to 3 do
+        for j := 0 to 3 do
+          acc := acc + i * j;
+      write(acc)
+    end.
+    """
+    full = run_with_unroll(src, 4, innermost=False)
+    inner = run_with_unroll(src, 4, innermost=True)
+    plain = run_plain(src)
+    assert full.outputs == inner.outputs == plain.outputs
+    # full unrolling replicates more code, so it executes fewer control
+    # steps but the same arithmetic; both must at least agree on output
+    assert inner.steps <= plain.steps
+
+
+def test_factor_one_is_identity():
+    tree = parse(SUM_SRC)
+    before = len(tree.body.body)
+    unroll_program(tree, 1)
+    assert len(tree.body.body) == before
+
+
+def test_invalid_factor_rejected():
+    with pytest.raises(ValueError):
+        unroll_program(parse(SUM_SRC), 0)
+
+
+def test_synthetic_bound_vars_declared():
+    tree = parse(SUM_SRC)
+    unroll_program(tree, 4)
+    names = [n for d in tree.decls for n in d.names]
+    assert any(n.startswith("__u") for n in names)
+    analyze(tree)  # must still type-check

@@ -1,0 +1,177 @@
+"""Unit tests for semantic analysis."""
+
+import pytest
+
+from repro.lang import SemanticError, analyze, parse
+from repro.lang import ast_nodes as ast
+
+
+def check(body: str, decls: str = "var x, y, i: int; r, s: real; b: bool; a: array[8] of int;"):
+    prog = parse(f"program t; {decls} begin {body} end.")
+    analyze(prog)
+    return prog
+
+
+def test_undeclared_variable():
+    with pytest.raises(SemanticError) as exc:
+        check("z := 1")
+    assert "undeclared" in str(exc.value)
+
+
+def test_redeclaration():
+    with pytest.raises(SemanticError):
+        check("x := 1", decls="var x: int; x: real;")
+
+
+def test_intrinsic_shadowing_rejected():
+    with pytest.raises(SemanticError):
+        check("", decls="var sqrt: int;")
+
+
+def test_int_to_real_widening_on_assign():
+    check("r := 1")
+    check("r := x + 1")
+
+
+def test_real_to_int_narrowing_rejected():
+    with pytest.raises(SemanticError):
+        check("x := r")
+
+
+def test_trunc_narrows_explicitly():
+    check("x := trunc(r)")
+
+
+def test_bool_to_int_rejected():
+    with pytest.raises(SemanticError):
+        check("x := b")
+
+
+def test_if_condition_must_be_bool():
+    with pytest.raises(SemanticError):
+        check("if x then y := 1")
+    check("if x > 0 then y := 1")
+
+
+def test_while_condition_must_be_bool():
+    with pytest.raises(SemanticError):
+        check("while x do x := x - 1")
+
+
+def test_for_variable_must_be_int():
+    with pytest.raises(SemanticError):
+        check("for r := 0 to 9 do x := 1", )
+
+
+def test_for_bounds_must_be_int():
+    with pytest.raises(SemanticError):
+        check("for i := 0 to r do x := 1")
+
+
+def test_array_used_without_index():
+    with pytest.raises(SemanticError):
+        check("x := a")
+    with pytest.raises(SemanticError):
+        check("a := 1")
+
+
+def test_scalar_indexed_rejected():
+    with pytest.raises(SemanticError):
+        check("y := x[0]")
+
+
+def test_array_index_must_be_int():
+    with pytest.raises(SemanticError):
+        check("y := a[r]")
+
+
+def test_div_mod_require_ints():
+    check("x := x div 2")
+    with pytest.raises(SemanticError):
+        check("r := r div 2")
+    with pytest.raises(SemanticError):
+        check("x := x mod r")
+
+
+def test_slash_division_is_real():
+    prog = check("r := x / y")
+    assign = prog.body.body[0]
+    assert assign.value.type == ast.REAL  # type: ignore[union-attr]
+    with pytest.raises(SemanticError):
+        check("x := x / y")
+
+
+def test_mixed_arithmetic_widens():
+    prog = check("r := x + s")
+    assert prog.body.body[0].value.type == ast.REAL  # type: ignore[union-attr]
+
+
+def test_comparison_produces_bool():
+    check("b := x < y")
+    check("b := r >= s")
+
+
+def test_bool_equality_allowed_ordering_rejected():
+    check("b := b = true")
+    with pytest.raises(SemanticError):
+        check("b := b < true")
+
+
+def test_logical_ops_require_bool():
+    check("b := b and (x > 0)")
+    with pytest.raises(SemanticError):
+        check("b := x and y")
+
+
+def test_not_requires_bool():
+    check("b := not b")
+    with pytest.raises(SemanticError):
+        check("b := not x")
+
+
+def test_unary_minus_requires_number():
+    check("x := -x")
+    with pytest.raises(SemanticError):
+        check("b := -b")
+
+
+def test_intrinsic_arity_checked():
+    with pytest.raises(SemanticError):
+        check("x := abs(1, 2)")
+    with pytest.raises(SemanticError):
+        check("r := min(1)")
+
+
+def test_unknown_intrinsic():
+    with pytest.raises(SemanticError):
+        check("x := gcd(4, 2)")
+
+
+def test_sqrt_widens_int_argument():
+    check("r := sqrt(4)")
+
+
+def test_min_max_follow_argument_types():
+    prog = check("x := min(1, 2); r := max(r, 1)")
+    assert prog.body.body[0].value.type == ast.INT  # type: ignore[union-attr]
+    assert prog.body.body[1].value.type == ast.REAL  # type: ignore[union-attr]
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(SemanticError):
+        check("break")
+
+
+def test_continue_inside_loop_ok():
+    check("while x > 0 do continue")
+
+
+def test_write_whole_array_rejected():
+    with pytest.raises(SemanticError):
+        check("write(a)")
+
+
+def test_float_intrinsic():
+    check("r := float(x)")
+    with pytest.raises(SemanticError):
+        check("r := float(r)")

@@ -1,0 +1,109 @@
+"""Unit tests for the data-dependence graph."""
+
+from repro.ir import build_cfg, compile_to_tac, rename
+from repro.liw import build_ddg
+
+
+def block_of(body: str, decls: str = "var x, y, z: int; a, b: array[8] of int;"):
+    cfg = build_cfg(compile_to_tac(f"program t; {decls} begin {body} end."))
+    rn = rename(cfg)
+    # single straight-line program: entry block holds everything
+    return rn.cfg.blocks[0]
+
+
+def edges_of(body: str, **kw):
+    block = block_of(body, **kw)
+    ddg = build_ddg(block)
+    return ddg, block
+
+
+def kinds(ddg):
+    return {(e.src, e.dst, e.kind) for e in ddg.edges}
+
+
+def test_flow_dependence():
+    ddg, block = edges_of("x := 1; y := x")
+    # copy of const -> use of x: flow edge with latency 1
+    flow = [e for e in ddg.edges if e.kind == "flow"]
+    assert flow and all(e.latency == 1 for e in flow)
+
+
+def test_independent_ops_have_no_edges():
+    ddg, _ = edges_of("x := 1; y := 2")
+    assert not ddg.edges
+
+
+def test_straight_line_redefinition_renamed_away():
+    # renaming splits "x := 2" into a fresh value, so no anti edge exists
+    ddg, _ = edges_of("x := 1; y := x; x := 2")
+    assert not [e for e in ddg.edges if e.kind == "anti"]
+
+
+def test_anti_dependence_zero_latency():
+    # A loop accumulator is one multi-definition web: inside the loop
+    # body the reads of x precede the write of x -> anti edges.
+    cfg_body = "while x < 3 do begin y := x; x := x + 1 end"
+    from repro.ir import build_cfg, compile_to_tac, rename
+    from repro.liw import build_ddg
+
+    cfg = build_cfg(
+        compile_to_tac(
+            f"program t; var x, y: int; begin {cfg_body} end."
+        )
+    )
+    rn = rename(cfg)
+    anti = []
+    for block in rn.cfg.blocks:
+        ddg = build_ddg(block)
+        anti += [e for e in ddg.edges if e.kind == "anti"]
+    assert anti and all(e.latency == 0 for e in anti)
+
+
+def test_output_dependence_on_multi_def_web():
+    # the web of x has two defs feeding the final use -> output edge
+    ddg, _ = edges_of("x := 1; x := x + 1; y := x")
+    output = [e for e in ddg.edges if e.kind == "output"]
+    flow = [e for e in ddg.edges if e.kind == "flow"]
+    assert flow
+    assert all(e.latency == 1 for e in output)
+
+
+def test_store_load_ordering_same_array():
+    ddg, _ = edges_of("a[0] := 1; x := a[1]")
+    mem = [e for e in ddg.edges if e.kind == "mem"]
+    assert mem and mem[0].latency == 1
+
+
+def test_load_store_anti_ordering():
+    ddg, _ = edges_of("x := a[0]; a[1] := 2")
+    mem = [e for e in ddg.edges if e.kind == "mem"]
+    assert mem and mem[0].latency == 0
+
+
+def test_loads_commute():
+    ddg, _ = edges_of("x := a[0]; y := a[1]")
+    assert not [e for e in ddg.edges if e.kind == "mem"]
+
+
+def test_different_arrays_independent():
+    ddg, _ = edges_of("a[0] := 1; x := b[0]")
+    assert not [e for e in ddg.edges if e.kind == "mem"]
+
+
+def test_io_chained_in_order():
+    ddg, _ = edges_of("read(x); read(y); write(x)")
+    io = [e for e in ddg.edges if e.kind == "io"]
+    assert len(io) == 2
+    assert all(e.latency == 1 for e in io)
+
+
+def test_heights_reflect_critical_path():
+    ddg, _ = edges_of("x := 1; y := x + 1; z := y + 1")
+    heights = ddg.heights()
+    assert heights[0] >= 2
+    assert heights[-1] == 0
+
+
+def test_edges_always_forward():
+    ddg, _ = edges_of("x := 1; y := x; x := 2; z := x; a[0] := z")
+    assert all(e.src < e.dst for e in ddg.edges)

@@ -1,0 +1,112 @@
+"""Differential and unit tests for the LIW executor."""
+
+import pytest
+
+from repro.ir import build_cfg, compile_to_tac, rename, run_cfg
+from repro.ir.interp import ExecutionLimitExceeded, InputExhausted
+from repro.liw import MachineConfig, TraceRecorder, run_schedule, schedule_program
+
+
+def both(body: str, decls: str = "var x, y, z, i: int; r: real; a: array[8] of int;",
+         inputs=None, machine=None, **kw):
+    src = f"program t; {decls} begin {body} end."
+    cfg = build_cfg(compile_to_tac(src, **kw))
+    interp = run_cfg(cfg, list(inputs or []))
+    rn = rename(cfg)
+    sched = schedule_program(rn, machine or MachineConfig())
+    initial = rn.initial_values()
+    execd = run_schedule(sched, list(inputs or []), initial_values=initial)
+    return interp, execd
+
+
+DIFFERENTIAL_CASES = [
+    "x := 2 + 3; write(x)",
+    "x := 5; y := 1; while x > 0 do begin y := y * x; x := x - 1 end; write(y)",
+    "for i := 0 to 7 do a[i] := i * i; for i := 0 to 7 do write(a[i])",
+    "read(x); read(y); if x > y then write(x) else write(y)",
+    "x := 10; y := 0; while x > 0 do begin if x mod 2 = 0 then y := y + x; x := x - 1 end; write(y)",
+    "r := 1.5; r := r * 2.0 + 1.0; write(r)",
+    "for i := 0 to 5 do begin x := i; y := x + y end; write(y); write(x)",
+    "for i := 5 downto 0 do write(i)",
+    "x := 3; for i := 0 to x do begin write(i * 2) end",
+]
+
+
+@pytest.mark.parametrize("body", DIFFERENTIAL_CASES)
+def test_executor_matches_interpreter(body):
+    inputs = [4, 9]
+    interp, execd = both(body, inputs=inputs)
+    assert execd.outputs == interp.outputs
+
+
+@pytest.mark.parametrize("fus,mods", [(1, 1), (2, 4), (4, 8), (8, 8)])
+def test_machine_shape_does_not_change_semantics(fus, mods):
+    body = (
+        "x := 0; for i := 0 to 9 do begin a[i mod 8] := i; x := x + a[i mod 8] end;"
+        " write(x)"
+    )
+    interp, execd = both(
+        body, machine=MachineConfig(num_fus=fus, num_modules=mods)
+    )
+    assert execd.outputs == interp.outputs
+
+
+def test_lock_step_anti_dependence():
+    # y := x and x := 2 may share a cycle; y must read the OLD x
+    interp, execd = both("x := 1; y := x; x := 2; write(y); write(x)")
+    assert execd.outputs == interp.outputs == [1, 2]
+
+
+def test_memory_constants_differential():
+    interp, execd = both(
+        "r := 2.5; r := r + 2.5; write(r)",
+        constants_in_memory=True,
+        immediate_limit=0,
+    )
+    assert execd.outputs == interp.outputs == [5.0]
+
+
+def test_input_exhaustion_raised():
+    with pytest.raises(InputExhausted):
+        both("read(x); read(y)", inputs=[1])
+
+
+def test_cycle_limit():
+    src = "program t; var x: int; begin while true do x := x + 1 end."
+    cfg = build_cfg(compile_to_tac(src))
+    rn = rename(cfg)
+    sched = schedule_program(rn, MachineConfig())
+    with pytest.raises(ExecutionLimitExceeded):
+        run_schedule(sched, max_cycles=500)
+
+
+def test_trace_recorder_sees_every_instruction():
+    src = "program t; var x, y: int; begin x := 1; y := x + 1; write(y) end."
+    cfg = build_cfg(compile_to_tac(src))
+    rn = rename(cfg)
+    sched = schedule_program(rn, MachineConfig())
+    rec = TraceRecorder()
+    result = run_schedule(sched, observers=[rec])
+    assert len(rec.events) == result.cycles
+    assert any(e.scalar_sources for e in rec.events)
+    assert any(e.scalar_dests for e in rec.events)
+
+
+def test_cycles_fewer_than_interpreter_steps():
+    body = "; ".join(f"x := x + {i}" for i in range(1, 9)) + "; write(x)"
+    interp, execd = both(body)
+    # multi-def web serialises, but constants pack: no more cycles than steps
+    assert execd.cycles <= interp.steps
+
+
+def test_array_touch_events_resolved():
+    src = "program t; var i: int; a: array[4] of int; begin for i := 0 to 3 do a[i] := i end."
+    cfg = build_cfg(compile_to_tac(src))
+    rn = rename(cfg)
+    sched = schedule_program(rn, MachineConfig())
+    rec = TraceRecorder()
+    run_schedule(sched, observers=[rec])
+    touched = sorted(
+        t.index for e in rec.events for t in e.array_touches if t.is_store
+    )
+    assert touched == [0, 1, 2, 3]

@@ -1,0 +1,43 @@
+"""Unit tests for the machine description."""
+
+import pytest
+
+from repro.liw import PAPER_MACHINE, PAPER_MACHINE_K4, MachineConfig
+
+
+def test_defaults():
+    m = MachineConfig()
+    assert m.num_fus == 4
+    assert m.k == 8
+    assert m.ports == 8
+    assert m.delta == 1.0
+
+
+def test_paper_machines():
+    assert PAPER_MACHINE.k == 8
+    assert PAPER_MACHINE_K4.k == 4
+
+
+def test_ports_override():
+    m = MachineConfig(num_fus=4, num_modules=8, mem_ports=4)
+    assert m.ports == 4
+    assert m.k == 8
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(num_fus=0)
+    with pytest.raises(ValueError):
+        MachineConfig(num_modules=0)
+    with pytest.raises(ValueError):
+        MachineConfig(mem_ports=0)
+    with pytest.raises(ValueError):
+        MachineConfig(delta=0)
+    with pytest.raises(ValueError):
+        MachineConfig(delta=-1.0)
+
+
+def test_frozen():
+    m = MachineConfig()
+    with pytest.raises(AttributeError):
+        m.num_fus = 2  # type: ignore[misc]

@@ -1,0 +1,110 @@
+"""Unit tests for the LIW list scheduler."""
+
+import pytest
+
+from repro.ir import build_cfg, compile_to_tac, rename, tac
+from repro.liw import MachineConfig, build_ddg, schedule_program
+
+
+def scheduled(body: str, machine=None,
+              decls: str = "var x, y, z, w: int; a: array[8] of int;", **kw):
+    cfg = build_cfg(compile_to_tac(f"program t; {decls} begin {body} end.", **kw))
+    rn = rename(cfg)
+    return schedule_program(rn, machine or MachineConfig()), rn
+
+
+def test_every_op_scheduled_exactly_once():
+    sched, rn = scheduled("x := 1; y := 2; z := x + y; a[0] := z")
+    ops_in_blocks = sum(len(b.body) for b in rn.cfg.blocks)
+    ops_in_sched = sum(
+        len(liw.ops) for bs in sched.blocks for liw in bs.liws
+    )
+    assert ops_in_blocks == ops_in_sched
+
+
+def test_fu_limit_respected():
+    machine = MachineConfig(num_fus=2, num_modules=8)
+    sched, _ = scheduled("x := 1; y := 2; z := 3; w := 4", machine)
+    for bs in sched.blocks:
+        for liw in bs.liws:
+            assert len(liw.ops) <= 2
+
+
+def test_memory_port_limit_respected():
+    machine = MachineConfig(num_fus=8, num_modules=4)
+    sched, _ = scheduled(
+        "x := x + y; z := z + w; y := a[0] + x; w := a[1] + z", machine
+    )
+    for bs in sched.blocks:
+        for liw in bs.liws:
+            assert liw.mem_accesses <= machine.ports
+
+
+def test_flow_dependences_respected():
+    sched, rn = scheduled("x := 1; y := x + 1; z := y + 1")
+    for bs in sched.blocks:
+        block = rn.cfg.blocks[bs.block_index]
+        ddg = build_ddg(block)
+        cycle_of = {}
+        for c, liw in enumerate(bs.liws):
+            for op in liw.ops:
+                cycle_of[id(op)] = c
+        for e in ddg.edges:
+            src_op = block.body[e.src]
+            dst_op = block.body[e.dst]
+            assert cycle_of[id(src_op)] + e.latency <= cycle_of[id(dst_op)]
+
+
+def test_independent_ops_packed_together():
+    machine = MachineConfig(num_fus=4, num_modules=8)
+    sched, _ = scheduled("x := 1; y := 2; z := 3; w := 4", machine)
+    entry = sched.blocks[0]
+    assert len(entry.liws[0].ops) == 4
+
+
+def test_branch_in_last_instruction():
+    sched, _ = scheduled("while x > 0 do x := x - 1")
+    for bs in sched.blocks:
+        for i, liw in enumerate(bs.liws):
+            if i < len(bs.liws) - 1:
+                assert liw.branch is None
+        assert bs.liws[-1].branch is not None
+
+
+def test_branch_waits_for_condition():
+    # condition temp is produced in the block; branch must come later
+    sched, _ = scheduled("while x > 0 do x := x - 1")
+    for bs in sched.blocks:
+        last = bs.liws[-1]
+        if last.branch is None or not last.branch.uses():
+            continue
+        cond = {u.id for u in last.branch.uses() if isinstance(u, tac.Value)}
+        assert not (last.scalar_dests() & cond)
+
+
+def test_ports_one_machine_still_terminates():
+    machine = MachineConfig(num_fus=2, num_modules=1, mem_ports=1)
+    sched, _ = scheduled("x := x + y; z := x + w", machine)
+    assert sched.num_instructions > 0
+
+
+def test_operand_sets_within_k():
+    machine = MachineConfig(num_fus=4, num_modules=8)
+    sched, _ = scheduled(
+        "x := x + y; z := z + w; y := y + x; w := w + z", machine
+    )
+    for ops in sched.operand_sets():
+        assert len(ops) <= machine.k
+
+
+def test_schedule_shorter_than_sequential():
+    machine = MachineConfig(num_fus=4, num_modules=8)
+    sched, rn = scheduled("x := 1; y := 2; z := 3; w := x + y")
+    seq_ops = sum(len(b.body) for b in rn.cfg.blocks)
+    assert sched.num_instructions < seq_ops + len(rn.cfg.blocks)
+
+
+def test_pretty_renders():
+    sched, _ = scheduled("x := 1; y := x")
+    text = sched.pretty()
+    assert "||" in text or "copy" in text

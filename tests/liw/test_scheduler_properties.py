@@ -1,0 +1,71 @@
+"""Property tests: scheduler invariants on random programs."""
+
+import pytest
+
+from repro.ir import build_cfg, lower_ast, rename
+from repro.ir.simplify import simplify_cfg
+from repro.lang import analyze, parse
+from repro.lang.generator import random_source
+from repro.liw import MachineConfig, build_ddg, schedule_program
+
+
+def compiled(seed, machine):
+    tree = parse(random_source(seed))
+    analyze(tree)
+    cfg = simplify_cfg(build_cfg(lower_ast(tree)))
+    renamed = rename(cfg)
+    return renamed, schedule_program(renamed, machine)
+
+
+MACHINES = [
+    MachineConfig(num_fus=1, num_modules=2),
+    MachineConfig(num_fus=2, num_modules=4),
+    MachineConfig(num_fus=4, num_modules=8),
+]
+
+
+@pytest.mark.parametrize("seed", range(0, 12, 2))
+@pytest.mark.parametrize("machine", MACHINES, ids=["1x2", "2x4", "4x8"])
+def test_every_op_scheduled_exactly_once(seed, machine):
+    renamed, schedule = compiled(seed, machine)
+    for bs in schedule.blocks:
+        block = renamed.cfg.blocks[bs.block_index]
+        scheduled = [op for liw in bs.liws for op in liw.ops]
+        assert len(scheduled) == len(block.body)
+        assert {id(op) for op in scheduled} == {id(op) for op in block.body}
+        branches = [liw.branch for liw in bs.liws if liw.branch is not None]
+        assert branches == [block.terminator]
+
+
+@pytest.mark.parametrize("seed", range(0, 12, 2))
+@pytest.mark.parametrize("machine", MACHINES, ids=["1x2", "2x4", "4x8"])
+def test_resources_respected_on_random_programs(seed, machine):
+    _, schedule = compiled(seed, machine)
+    for bs in schedule.blocks:
+        for liw in bs.liws:
+            assert len(liw.ops) <= machine.num_fus or len(liw.ops) == 1
+            # forced single-op words may exceed ports on tiny machines;
+            # everything else must respect the budget
+            if len(liw.ops) > 1 or liw.branch is not None:
+                assert liw.mem_accesses <= machine.ports + 1  # +1: branch cond
+
+
+@pytest.mark.parametrize("seed", range(0, 12, 2))
+def test_dependences_respected_on_random_programs(seed):
+    machine = MachineConfig(num_fus=4, num_modules=8)
+    renamed, schedule = compiled(seed, machine)
+    for bs in schedule.blocks:
+        block = renamed.cfg.blocks[bs.block_index]
+        ddg = build_ddg(block)
+        cycle_of = {}
+        for c, liw in enumerate(bs.liws):
+            for op in liw.ops:
+                cycle_of[id(op)] = c
+        for e in ddg.edges:
+            src = block.body[e.src]
+            dst = block.body[e.dst]
+            assert cycle_of[id(src)] + e.latency <= cycle_of[id(dst)], (
+                seed,
+                str(src),
+                str(dst),
+            )

@@ -1,0 +1,156 @@
+"""Tests for compile-time-scheduled inter-module transfers."""
+
+import pytest
+
+from repro import MachineConfig
+from repro.core import Allocation
+from repro.core.strategies import stor1
+from repro.ir import tac
+from repro.liw import insert_transfers
+from repro.liw.schedule import BlockSchedule, LiwInstruction, Schedule
+from repro.pipeline import compile_source, simulate
+from repro.programs import get_program
+
+
+def make_schedule(words, machine=None, cfg=None):
+    machine = machine or MachineConfig(num_fus=4, num_modules=4)
+    bs = BlockSchedule(0, ".B0", words)
+    from repro.ir.cfg import Cfg
+
+    return Schedule(cfg or Cfg("t", [], {}, []), machine, [bs])
+
+
+def word(ops=(), branch=None):
+    return LiwInstruction(list(ops), branch)
+
+
+def binary(dest, a, b):
+    return tac.Binary(tac.Value(dest), "add", tac.Value(a), tac.Value(b))
+
+
+def test_no_duplicates_no_transfers():
+    alloc = Allocation(4)
+    for v in (1, 2, 3):
+        alloc.add_copy(v, v - 1)
+    sched = make_schedule([word([binary(3, 1, 2)], tac.Halt())])
+    new, stats = insert_transfers(sched, alloc)
+    assert stats.transfers_inserted == 0
+    assert new.num_instructions == sched.num_instructions
+
+
+def test_transfer_per_extra_copy():
+    alloc = Allocation(4)
+    alloc.add_copy(1, 0)
+    alloc.add_copy(2, 1)
+    alloc.add_copy(3, 2)
+    alloc.add_copy(3, 3)  # one extra copy: one transfer
+    sched = make_schedule(
+        [
+            word([binary(3, 1, 2)]),
+            word([], tac.Halt()),
+        ]
+    )
+    new, stats = insert_transfers(sched, alloc)
+    assert stats.transfers_inserted == 1
+    xfers = [
+        op
+        for bs in new.blocks
+        for liw in bs.liws
+        for op in liw.transfers()
+    ]
+    assert len(xfers) == 1
+    assert xfers[0].src_module == 2 and xfers[0].dst_module == 3
+
+
+def test_transfer_lands_before_reader():
+    alloc = Allocation(4)
+    alloc.add_copy(1, 0)
+    alloc.add_copy(2, 1)
+    alloc.add_copy(3, 2)
+    alloc.add_copy(3, 3)
+    alloc.add_copy(4, 1)
+    sched = make_schedule(
+        [
+            word([binary(3, 1, 2)]),
+            word([binary(4, 3, 1)]),  # reads 3
+            word([], tac.Halt()),
+        ]
+    )
+    new, _ = insert_transfers(sched, alloc)
+    words = new.blocks[0].liws
+    xfer_pos = next(
+        i for i, w in enumerate(words) if w.transfers()
+    )
+    reader_pos = next(
+        i
+        for i, w in enumerate(words)
+        if any(3 in {u.id for u in op.uses() if isinstance(u, tac.Value)}
+               for op in w.ops if not isinstance(op, tac.Transfer))
+        and any(isinstance(op, tac.Binary) and op.dest.id == 4 for op in w.ops)
+    )
+    assert xfer_pos < reader_pos
+
+
+def test_transfers_complete_before_branch():
+    alloc = Allocation(4)
+    alloc.add_copy(1, 0)
+    alloc.add_copy(2, 1)
+    alloc.add_copy(3, 2)
+    alloc.add_copy(3, 3)
+    sched = make_schedule(
+        [word([binary(3, 1, 2)], tac.Jump(".B0"))]
+    )
+    new, stats = insert_transfers(sched, alloc)
+    words = new.blocks[0].liws
+    assert stats.transfers_inserted == 1
+    # the branch must be in the last word, after every transfer
+    assert words[-1].branch is not None
+    branch_pos = len(words) - 1
+    xfer_pos = next(i for i, w in enumerate(words) if w.transfers())
+    assert xfer_pos < branch_pos or (
+        xfer_pos == branch_pos and words[branch_pos].transfers()
+    )
+    assert xfer_pos <= branch_pos
+
+
+def test_mem_budget_respected():
+    machine = MachineConfig(num_fus=8, num_modules=8)
+    alloc = Allocation(8)
+    alloc.add_copy(1, 0)
+    # value 2..5 each duplicated twice
+    for v in (2, 3, 4, 5):
+        alloc.add_copy(v, 1)
+        alloc.add_copy(v, 2)
+    defs = [
+        tac.Unary(tac.Value(v), "copy", tac.Value(1)) for v in (2, 3, 4, 5)
+    ]
+    sched = make_schedule(
+        [word(defs), word([], tac.Halt())], machine=machine
+    )
+    new, stats = insert_transfers(sched, alloc)
+    assert stats.transfers_inserted == 4
+    for bs in new.blocks:
+        for liw in bs.liws:
+            assert liw.mem_accesses <= machine.ports
+
+
+@pytest.mark.parametrize("name", ["EXACT", "SORT"])
+def test_end_to_end_semantics_and_cost(name):
+    spec = get_program(name)
+    prog = compile_source(
+        spec.source, MachineConfig(num_fus=4, num_modules=4),
+        unroll=2, constants_in_memory=True,
+    )
+    storage = stor1(prog.schedule, prog.renamed)
+    eager = simulate(prog, storage.allocation, list(spec.inputs))
+    xfer = simulate(
+        prog, storage.allocation, list(spec.inputs),
+        scheduled_transfers=True,
+    )
+    assert eager.outputs == xfer.outputs
+    n_multi = len(storage.allocation.multi_copy_values())
+    if n_multi:
+        # explicit transfers cost cycles or stalls (never free)
+        assert xfer.total_time >= eager.total_time - 1e-9
+    else:
+        assert xfer.cycles == eager.cycles

@@ -1,0 +1,109 @@
+"""Unit and property tests for the exact max-load distribution."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim import (
+    expected_max_load,
+    max_load_distribution,
+    min_possible_max_load,
+)
+
+
+def test_no_random_accesses_is_deterministic():
+    dist = max_load_distribution((1, 0, 2), 0)
+    assert dist == {2: 1.0}
+
+
+def test_single_access_uniform():
+    dist = max_load_distribution((0, 0), 1)
+    assert dist == {1: 1.0}
+
+
+def test_two_accesses_two_modules():
+    # both in same module with prob 1/2 -> max 2; else max 1
+    dist = max_load_distribution((0, 0), 2)
+    assert dist[1] == pytest.approx(0.5)
+    assert dist[2] == pytest.approx(0.5)
+
+
+def test_classic_birthday_three_modules():
+    dist = max_load_distribution((0, 0, 0), 2)
+    assert dist[1] == pytest.approx(2 / 3)
+    assert dist[2] == pytest.approx(1 / 3)
+
+
+def test_initial_loads_shift_distribution():
+    # one module already at load 1: a single random access collides with
+    # probability 1/2
+    dist = max_load_distribution((1, 0), 1)
+    assert dist[1] == pytest.approx(0.5)
+    assert dist[2] == pytest.approx(0.5)
+
+
+def test_expected_max_load_formula():
+    assert expected_max_load((0, 0), 2) == pytest.approx(1.5)
+    assert expected_max_load((2, 0, 0), 0) == pytest.approx(2.0)
+
+
+def test_empty_modules_rejected():
+    with pytest.raises(ValueError):
+        max_load_distribution((), 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.tuples(*[st.integers(0, 2)] * 4),
+    st.integers(0, 5),
+)
+def test_distribution_is_probability(initial, n):
+    dist = max_load_distribution(initial, n)
+    assert sum(dist.values()) == pytest.approx(1.0)
+    assert all(p >= 0 for p in dist.values())
+    lo = max(max(initial), math.ceil((sum(initial) + n) / len(initial)))
+    hi = max(initial) + n
+    assert all(lo <= load <= max(hi, 1) or load == max(initial) for load in dist)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.tuples(*[st.integers(0, 2)] * 3),
+    st.integers(0, 4),
+    st.integers(0, 3),
+)
+def test_distribution_matches_monte_carlo(initial, n, seed):
+    dist = max_load_distribution(initial, n)
+    rng = random.Random(seed)
+    trials = 4000
+    counts: dict[int, int] = {}
+    for _ in range(trials):
+        loads = list(initial)
+        for _ in range(n):
+            loads[rng.randrange(len(loads))] += 1
+        m = max(loads)
+        counts[m] = counts.get(m, 0) + 1
+    for load, p in dist.items():
+        assert counts.get(load, 0) / trials == pytest.approx(p, abs=0.05)
+
+
+def test_min_possible_max_load_greedy():
+    assert min_possible_max_load((0, 0, 0), 3) == 1
+    assert min_possible_max_load((0, 0), 3) == 2
+    assert min_possible_max_load((2, 0), 1) == 2
+    assert min_possible_max_load((1, 1), 0) == 1
+    assert min_possible_max_load((), 0) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.tuples(*[st.integers(0, 3)] * 4),
+    st.integers(0, 6),
+)
+def test_min_max_load_is_lower_bound_of_distribution(initial, n):
+    best = min_possible_max_load(initial, n)
+    dist = max_load_distribution(initial, n)
+    assert min(dist) >= best
+    assert expected_max_load(initial, n) >= best - 1e-12

@@ -1,0 +1,73 @@
+"""Unit tests for array layouts."""
+
+import pytest
+
+from repro.memsim import (
+    InterleavedLayout,
+    PerArrayLayout,
+    SingleModuleLayout,
+    SkewedLayout,
+    make_layout,
+)
+
+ARRAYS = ["a", "b", "c"]
+
+
+def test_interleaved_strides_across_modules():
+    lay = InterleavedLayout(ARRAYS, 4)
+    mods = [lay.module("a", i) for i in range(8)]
+    assert mods == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+def test_interleaved_base_offsets_differ_by_array():
+    lay = InterleavedLayout(ARRAYS, 4)
+    assert lay.module("a", 0) != lay.module("b", 0)
+
+
+def test_single_module_everything_same():
+    lay = SingleModuleLayout(ARRAYS, 4, module_index=2)
+    assert {lay.module(a, i) for a in ARRAYS for i in range(10)} == {2}
+
+
+def test_single_module_index_validated():
+    with pytest.raises(ValueError):
+        SingleModuleLayout(ARRAYS, 4, module_index=4)
+
+
+def test_per_array_constant_per_array():
+    lay = PerArrayLayout(ARRAYS, 2)
+    assert len({lay.module("a", i) for i in range(5)}) == 1
+    assert lay.module("a", 0) != lay.module("b", 0)
+
+
+def test_skewed_differs_from_interleaved_on_k_stride():
+    k = 4
+    inter = InterleavedLayout(ARRAYS, k)
+    skew = SkewedLayout(ARRAYS, k)
+    # stride-k accesses: interleaved always hits one module, skewed moves
+    inter_mods = {inter.module("a", i * k) for i in range(4)}
+    skew_mods = {skew.module("a", i * k) for i in range(4)}
+    assert len(inter_mods) == 1
+    assert len(skew_mods) > 1
+
+
+def test_unknown_array_rejected():
+    lay = InterleavedLayout(ARRAYS, 4)
+    with pytest.raises(KeyError):
+        lay.module("zzz", 0)
+
+
+def test_make_layout_factory():
+    for name in ("interleaved", "single", "per_array", "skewed"):
+        lay = make_layout(name, ARRAYS, 4)
+        assert 0 <= lay.module("a", 3) < 4
+    with pytest.raises(ValueError):
+        make_layout("hashed", ARRAYS, 4)
+
+
+def test_modules_always_in_range():
+    for name in ("interleaved", "single", "per_array", "skewed"):
+        lay = make_layout(name, ARRAYS, 3)
+        for a in ARRAYS:
+            for i in range(50):
+                assert 0 <= lay.module(a, i) < 3

@@ -1,0 +1,85 @@
+"""Tests for the command-line driver (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "sum.p"
+    path.write_text(
+        """
+program sums;
+var i, s: int;
+begin
+  s := 0;
+  for i := 1 to 10 do s := s + i;
+  write(s)
+end.
+"""
+    )
+    return str(path)
+
+
+def test_compile_command(program_file, capsys):
+    assert main(["compile", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "long" in out and "storage" in out
+
+
+def test_compile_show_allocation(program_file, capsys):
+    assert main(["compile", program_file, "--show-allocation"]) == 0
+    assert "M1" in capsys.readouterr().out
+
+
+def test_compile_show_schedule(program_file, capsys):
+    assert main(["compile", program_file, "--show-schedule"]) == 0
+    out = capsys.readouterr().out
+    assert "[" in out  # schedule listing
+
+
+def test_run_command(program_file, capsys):
+    assert main(["run", program_file]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.strip().splitlines()[0] == "55"
+    assert "cycles=" in captured.err
+
+
+def test_run_with_inputs(tmp_path, capsys):
+    path = tmp_path / "echo.p"
+    path.write_text(
+        "program echo; var x: int; r: real;"
+        " begin read(x); read(r); write(x + 1); write(r) end."
+    )
+    assert main(["run", str(path), "-i", "41", "-i", "2.5"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines == ["42", "2.5"]
+
+
+def test_run_machine_flags(program_file, capsys):
+    assert main([
+        "run", program_file, "-k", "2", "--fus", "2", "--unroll", "2",
+        "--memory-constants", "--strategy", "STOR3", "--method", "backtrack",
+    ]) == 0
+    assert capsys.readouterr().out.strip().splitlines()[0] == "55"
+
+
+def test_bench_command(capsys):
+    assert main(["bench", "FFT", "--unroll", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "FFT" in out and "match reference" in out
+
+
+def test_bench_rejects_unknown_program():
+    with pytest.raises(SystemExit):
+        main(["bench", "NOTAPROGRAM"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_layout_choice(program_file, capsys):
+    assert main(["run", program_file, "--layout", "skewed"]) == 0

@@ -1,0 +1,178 @@
+"""Differential fuzzing: every compiler stage must preserve semantics.
+
+Random valid programs (see :mod:`repro.lang.generator`) are run through
+the reference interpreter and the full LIW pipeline under varying
+machine shapes, unroll factors, CFG simplification, constant placement,
+and renaming modes — outputs must agree exactly (ints) / to 1e-9
+(floats, same operation order by construction).
+"""
+
+import math
+
+import pytest
+
+from repro.ir import build_cfg, lower_ast, rename, run_cfg
+from repro.ir.simplify import simplify_cfg
+from repro.ir.unroll import unroll_program
+from repro.lang import analyze, parse
+from repro.lang.generator import random_program, random_source
+from repro.lang.unparse import unparse
+from repro.liw import MachineConfig, run_schedule, schedule_program
+
+
+def close(a, b):
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if isinstance(x, float) or isinstance(y, float):
+            if not math.isclose(float(x), float(y), rel_tol=1e-9, abs_tol=1e-12):
+                return False
+        elif x != y:
+            return False
+    return True
+
+
+def reference_outputs(source: str):
+    tree = parse(source)
+    analyze(tree)
+    cfg = build_cfg(lower_ast(tree))
+    return run_cfg(cfg, max_steps=2_000_000).outputs
+
+
+def pipeline_outputs(
+    source: str,
+    machine=None,
+    unroll=1,
+    simplify=False,
+    constants_in_memory=False,
+    rename_mode="web",
+):
+    tree = parse(source)
+    if unroll > 1:
+        unroll_program(tree, unroll)
+    analyze(tree)
+    cfg = build_cfg(lower_ast(tree, constants_in_memory=constants_in_memory))
+    if simplify:
+        cfg = simplify_cfg(cfg)
+    renamed = rename(cfg, mode=rename_mode)
+    schedule = schedule_program(renamed, machine or MachineConfig())
+    result = run_schedule(
+        schedule,
+        max_cycles=2_000_000,
+        initial_values=renamed.initial_values(),
+    )
+    return result.outputs
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_fuzz_liw_pipeline_matches_interpreter(seed):
+    source = random_source(seed)
+    want = reference_outputs(source)
+    got = pipeline_outputs(source, simplify=True)
+    assert close(got, want), source
+
+
+@pytest.mark.parametrize("seed", range(0, 30, 2))
+def test_fuzz_unrolling_preserves_semantics(seed):
+    source = random_source(seed)
+    want = reference_outputs(source)
+    for factor in (2, 3):
+        got = pipeline_outputs(source, unroll=factor, simplify=True)
+        assert close(got, want), (factor, source)
+
+
+@pytest.mark.parametrize("seed", range(0, 24, 3))
+@pytest.mark.parametrize(
+    "fus,mods", [(1, 1), (2, 2), (8, 8), (4, 2)]
+)
+def test_fuzz_machine_shapes(seed, fus, mods):
+    source = random_source(seed)
+    want = reference_outputs(source)
+    got = pipeline_outputs(
+        source, machine=MachineConfig(num_fus=fus, num_modules=mods)
+    )
+    assert close(got, want), source
+
+
+@pytest.mark.parametrize("seed", range(0, 20, 2))
+def test_fuzz_memory_constants(seed):
+    source = random_source(seed)
+    want = reference_outputs(source)
+    got = pipeline_outputs(source, constants_in_memory=True, simplify=True)
+    assert close(got, want), source
+
+
+@pytest.mark.parametrize("seed", range(0, 20, 2))
+def test_fuzz_variable_renaming(seed):
+    source = random_source(seed)
+    want = reference_outputs(source)
+    got = pipeline_outputs(source, rename_mode="variable")
+    assert close(got, want), source
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_fuzz_unparse_round_trip(seed):
+    """unparse -> parse -> unparse is a fixpoint, and semantics hold."""
+    program = random_program(seed)
+    text1 = unparse(program)
+    reparsed = parse(text1)
+    text2 = unparse(reparsed)
+    assert text1 == text2
+    analyze(reparsed)
+
+
+@pytest.mark.parametrize("seed", range(0, 16, 2))
+def test_fuzz_everything_at_once(seed):
+    """The full paper configuration on random programs."""
+    source = random_source(seed, max_statements=16)
+    want = reference_outputs(source)
+    got = pipeline_outputs(
+        source,
+        machine=MachineConfig(num_fus=4, num_modules=4),
+        unroll=4,
+        simplify=True,
+        constants_in_memory=True,
+    )
+    assert close(got, want), source
+
+
+@pytest.mark.parametrize("seed", range(0, 18, 3))
+@pytest.mark.parametrize("strategy", ["STOR1", "STOR2", "STOR3"])
+def test_fuzz_storage_strategies_sound(seed, strategy):
+    """On random programs, every strategy yields a total allocation whose
+    residual conflicts involve only non-duplicable (multi-def) values,
+    and simulated execution still matches the interpreter."""
+    from repro.core import instruction_conflict_free, run_strategy
+    from repro.memsim import InterleavedLayout, MemorySimulator
+
+    source = random_source(seed)
+    want = reference_outputs(source)
+
+    tree = parse(source)
+    analyze(tree)
+    cfg = simplify_cfg(build_cfg(lower_ast(tree, constants_in_memory=True)))
+    renamed = rename(cfg)
+    machine = MachineConfig(num_fus=4, num_modules=4)
+    schedule = schedule_program(renamed, machine)
+    storage = run_strategy(strategy, schedule, renamed)
+
+    multi_def = {v.id for v in renamed.values if v.multi_def}
+    for ops in schedule.operand_sets():
+        if ops and not instruction_conflict_free(ops, storage.allocation):
+            assert ops & multi_def, (strategy, sorted(ops), source)
+
+    sim = MemorySimulator(
+        storage.allocation,
+        InterleavedLayout(sorted(cfg.arrays), machine.k),
+        machine.k,
+    )
+    result = run_schedule(
+        schedule,
+        max_cycles=2_000_000,
+        observers=[sim],
+        initial_values=renamed.initial_values(),
+    )
+    assert close(result.outputs, want), source
+    report = sim.report()
+    assert report.t_min <= report.t_ave + 1e-9
+    assert report.t_ave <= report.t_max + 1e-9

@@ -1,0 +1,99 @@
+"""Integration tests for the public pipeline API."""
+
+import pytest
+
+from repro import (
+    MachineConfig,
+    allocate_storage,
+    compile_source,
+    simulate,
+)
+from repro.pipeline import compile_for_paper
+
+SRC = """
+program p;
+var i, s: int; r: real; a: array[8] of int;
+begin
+  s := 0; r := 0.5;
+  for i := 0 to 7 do begin
+    a[i] := i * 3;
+    s := s + a[i];
+    r := r * 1.5
+  end;
+  write(s); write(r)
+end.
+"""
+
+
+def test_compile_source_defaults():
+    prog = compile_source(SRC)
+    assert prog.name == "p"
+    assert prog.machine.k == 8
+    assert prog.schedule.num_instructions > 0
+
+
+def test_compile_for_paper_configuration():
+    prog = compile_for_paper(SRC)
+    # memory constants present; unrolled loops produce bigger schedules
+    assert prog.cfg.const_table
+    plain = compile_source(SRC)
+    assert prog.schedule.num_operations > plain.schedule.num_operations
+
+
+@pytest.mark.parametrize("unroll", [1, 2, 4])
+@pytest.mark.parametrize("constants", [False, True])
+def test_option_matrix_preserves_outputs(unroll, constants):
+    prog = compile_source(
+        SRC, unroll=unroll, constants_in_memory=constants
+    )
+    storage = allocate_storage(prog)
+    result = simulate(prog, storage.allocation)
+    assert result.outputs[0] == sum(i * 3 for i in range(8))
+    assert result.outputs[1] == pytest.approx(0.5 * 1.5**8)
+
+
+def test_simplify_off_still_correct():
+    prog = compile_source(SRC, simplify=False)
+    storage = allocate_storage(prog)
+    result = simulate(prog, storage.allocation)
+    assert result.outputs[0] == sum(i * 3 for i in range(8))
+
+
+def test_simplify_reduces_instructions():
+    on = compile_source(SRC, simplify=True)
+    off = compile_source(SRC, simplify=False)
+    assert on.schedule.num_instructions <= off.schedule.num_instructions
+
+
+@pytest.mark.parametrize("strategy", ["STOR1", "STOR2", "STOR3"])
+@pytest.mark.parametrize("method", ["hitting_set", "backtrack"])
+def test_allocate_storage_matrix(strategy, method):
+    prog = compile_source(SRC, MachineConfig(num_fus=2, num_modules=4))
+    storage = allocate_storage(prog, strategy=strategy, method=method)
+    assert storage.strategy.startswith("STOR")
+    assert storage.singles + storage.multiples > 0
+
+
+def test_allocate_storage_k_override():
+    prog = compile_source(SRC)
+    storage = allocate_storage(prog, k=2)
+    assert storage.allocation.k == 2
+
+
+def test_simulate_layouts_and_transfers():
+    prog = compile_source(SRC, MachineConfig(num_fus=4, num_modules=4))
+    storage = allocate_storage(prog)
+    base = simulate(prog, storage.allocation)
+    for layout in ("skewed", "per_array", "single"):
+        alt = simulate(prog, storage.allocation, layout=layout)
+        assert alt.outputs == base.outputs
+    xfer = simulate(prog, storage.allocation, scheduled_transfers=True)
+    assert xfer.outputs == base.outputs
+
+
+def test_total_time_includes_stalls():
+    prog = compile_source(SRC, MachineConfig(num_fus=4, num_modules=2))
+    storage = allocate_storage(prog)
+    result = simulate(prog, storage.allocation)
+    assert result.total_time == result.cycles + result.memory.stall_time
+    assert result.total_time >= result.cycles
