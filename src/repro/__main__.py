@@ -5,6 +5,7 @@ Usage::
     python -m repro compile PROGRAM.p [options]      # schedule + allocation
     python -m repro run PROGRAM.p [--input V ...]    # execute + Δ report
     python -m repro bench NAME                       # one paper benchmark
+    python -m repro batch [NAME ...]                 # pooled corpus + cache
     python -m repro report                           # all tables/figures
 
 ``PROGRAM.p`` is mini-language source; ``NAME`` is one of the paper's
@@ -107,6 +108,62 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.report import batch_report_json, format_batch_report
+    from .programs import all_programs
+    from .service import AllocationCache, BatchCompiler, BatchJob
+    from .service.cache import encode_storage_result
+
+    specs = (
+        [get_program(name) for name in args.names]
+        if args.names
+        else all_programs()
+    )
+    machine = _machine(args)
+    jobs = [
+        BatchJob(
+            spec.name,
+            spec.source,
+            machine,
+            strategy=args.strategy,
+            method=args.method,
+            unroll=args.unroll,
+            constants_in_memory=args.memory_constants,
+        )
+        for spec in specs
+    ]
+    compiler = BatchCompiler(
+        workers=args.workers,
+        timeout=args.timeout,
+        cache=AllocationCache(args.cache_dir),
+    )
+    report = compiler.run(jobs)
+    print(format_batch_report(report))
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json.dumps(batch_report_json(report), indent=2, sort_keys=True)
+        )
+        print(f"; metrics JSON written to {args.json_path}", file=sys.stderr)
+    ok = report.num_ok == len(jobs)
+    if args.verify_serial:
+        serial = BatchCompiler(workers=1, cache=AllocationCache()).run(jobs)
+        identical = all(
+            a.ok and b.ok
+            and encode_storage_result(a.storage)
+            == encode_storage_result(b.storage)
+            for a, b in zip(report.results, serial.results)
+        )
+        print(
+            "; serial check: "
+            + ("results identical" if identical else "MISMATCH"),
+            file=sys.stderr,
+        )
+        ok = ok and identical
+    return 0 if ok else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import full_report
 
@@ -155,6 +212,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("name", choices=program_names())
     common(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
+
+    p_batch = sub.add_parser(
+        "batch", help="batch-compile a corpus over a process pool + cache"
+    )
+    p_batch.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help="registry programs (default: all six)",
+    )
+    p_batch.add_argument("--workers", "-j", type=int, default=None,
+                         help="process-pool size (1 = serial)")
+    p_batch.add_argument("--timeout", type=float, default=None,
+                         help="per-job seconds before serial fallback")
+    p_batch.add_argument("--cache-dir", default=None,
+                         help="persist the allocation cache here")
+    p_batch.add_argument("--json", dest="json_path", default=None,
+                         help="write the metrics JSON report to this file")
+    p_batch.add_argument("--verify-serial", action="store_true",
+                         help="re-run serially and compare results")
+    common(p_batch)
+    p_batch.set_defaults(fn=cmd_batch)
 
     p_report = sub.add_parser("report", help="regenerate every experiment")
     p_report.add_argument("--unroll", type=int, default=4)

@@ -2,11 +2,18 @@
 
 Run as ``python -m repro.analysis.report``; EXPERIMENTS.md records one
 full output of this module next to the paper's numbers.
+
+Also renders the batch-service reports (``python -m repro batch``):
+:func:`batch_report_json` / :func:`format_batch_report`.
 """
 
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..service.batch import BatchReport
 
 from .figures import (
     reproduce_fig1,
@@ -137,6 +144,50 @@ def full_report(unroll: int = 4) -> str:
 
     parts.append(f"\n[report generated in {time.time() - t0:.1f}s]")
     return "\n".join(parts)
+
+
+def batch_report_json(report: "BatchReport") -> dict[str, object]:
+    """The metrics JSON of one batch run: per-job outcomes and stage
+    metrics, aggregate stage totals, and cache hit/miss statistics."""
+    return report.as_dict()
+
+
+def format_batch_report(report: "BatchReport") -> str:
+    """Human-readable rendering of a :class:`BatchReport`."""
+    lines = [
+        f"{'program':10s} {'strategy':8s} {'mode':15s} {'hit':3s} "
+        f"{'=1':>4s} {'>1':>4s} {'copies':>6s} {'time':>8s}"
+    ]
+    for r in report.results:
+        if r.storage is not None:
+            cols = (
+                f"{r.storage.singles:4d} {r.storage.multiples:4d} "
+                f"{r.storage.total_copies:6d}"
+            )
+        else:
+            cols = f"{'-':>4s} {'-':>4s} {'-':>6s}"
+        hit = "y" if r.cache_hit else "."
+        lines.append(
+            f"{r.job.name:10s} {r.job.strategy.upper():8s} {r.mode:15s} "
+            f"{hit:3s} {cols} {r.wall_time:7.3f}s"
+            + (f"  ! {r.error}" if r.error else "")
+        )
+    cache = report.cache_stats
+    lines.append(
+        f"{report.num_ok}/{len(report.results)} ok in "
+        f"{report.wall_time:.3f}s with {report.workers} worker(s); "
+        f"cache {cache.get('hits', 0)} hit / {cache.get('misses', 0)} miss "
+        f"({report.hit_rate:.0%} of jobs served from cache)"
+    )
+    totals = sorted(
+        report.stage_totals().items(), key=lambda kv: -kv[1]
+    )
+    if totals:
+        lines.append(
+            "stage totals: "
+            + ", ".join(f"{name} {t:.3f}s" for name, t in totals[:8])
+        )
+    return "\n".join(lines)
 
 
 def main() -> None:  # pragma: no cover - exercised via CLI

@@ -42,6 +42,7 @@ class AssignmentStats:
     pinned: list[int] = field(default_factory=list)
     copies_created: int = 0
     residual_instructions: list[frozenset[int]] = field(default_factory=list)
+    num_edges: int = 0
 
     @property
     def conflict_free(self) -> bool:
@@ -228,5 +229,6 @@ def assign_modules(
         pinned=pinned,
         copies_created=alloc.total_copies - copies_before,
         residual_instructions=conflicting_instructions(sets, alloc),
+        num_edges=graph.num_edges,
     )
     return AssignmentResult(alloc, coloring, stats, method)

@@ -49,6 +49,9 @@ class ColoringResult:
     assignment: dict[int, int] = field(default_factory=dict)
     unassigned: list[int] = field(default_factory=list)
     trace: list[ColoringStep] = field(default_factory=list)
+    #: atoms the graph decomposed into (1 when colouring skipped atoms;
+    #: 0 for an empty graph) — surfaced by the service metrics layer
+    num_atoms: int = 0
 
     @property
     def assigned(self) -> set[int]:
@@ -208,6 +211,7 @@ def color_graph(
     preassigned = dict(preassigned or {})
     if not use_atoms:
         result = color_atom(graph, k, preassigned, module_choice, prefer=prefer)
+        result.num_atoms = 1 if graph.nodes else 0
         _repair_improper_edges(graph, result, set(preassigned))
         return result
 
@@ -221,6 +225,7 @@ def color_graph(
     # shares with earlier atoms form one clique, so the pre-assigned
     # constraints are always mutually consistent and extendable.
     atoms = [a for a in decomposition.atoms if a.nodes]
+    combined.num_atoms = len(atoms)
     module_use = [0] * k
     for atom in atoms:
         pre = {

@@ -17,7 +17,9 @@ two columns of the paper's Table 1.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..ir.regions import compute_regions
 from ..ir.rename import RenamedProgram
@@ -25,6 +27,9 @@ from ..liw.schedule import Schedule
 from .allocation import Allocation
 from .assign import AssignmentResult, assign_modules
 from .verify import conflicting_instructions
+
+if TYPE_CHECKING:  # avoid a runtime repro.service <-> repro.core cycle
+    from ..service.metrics import Metrics
 
 
 @dataclass(slots=True)
@@ -73,18 +78,42 @@ def _program_facts(
     return operand_sets, block_of, duplicable, all_values
 
 
+def _timed_assign(
+    metrics: "Metrics | None", stage: str, *args, **kwargs
+) -> AssignmentResult:
+    """Run :func:`assign_modules`, recording a stage metric when asked."""
+    t0 = time.perf_counter()
+    result = assign_modules(*args, **kwargs)
+    if metrics is not None:
+        metrics.add_stage(
+            stage,
+            time.perf_counter() - t0,
+            graph_values=result.stats.num_values,
+            graph_edges=result.stats.num_edges,
+            instructions=result.stats.num_instructions,
+            atoms=result.coloring.num_atoms,
+            colored=result.stats.colored,
+            removed=result.stats.removed,
+            copies_created=result.stats.copies_created,
+        )
+    return result
+
+
 def stor1(
     schedule: Schedule,
     renamed: RenamedProgram,
     k: int | None = None,
     method: str = "hitting_set",
     seed: int = 0,
+    metrics: "Metrics | None" = None,
     **kwargs,
 ) -> StorageResult:
     """Whole-program assignment (no graph-size restriction)."""
     k = k if k is not None else schedule.machine.k
     operand_sets, _, duplicable, all_values = _program_facts(schedule, renamed)
-    result = assign_modules(
+    result = _timed_assign(
+        metrics,
+        "STOR1.assign",
         operand_sets,
         k,
         method=method,
@@ -107,6 +136,7 @@ def stor2(
     k: int | None = None,
     method: str = "hitting_set",
     seed: int = 0,
+    metrics: "Metrics | None" = None,
     **kwargs,
 ) -> StorageResult:
     """Two-stage assignment: region-crossing globals first, then the
@@ -127,7 +157,9 @@ def stor2(
 
     # Stage 1: globals only, conflicts projected onto global values.
     global_sets = [ops & global_ids for ops in operand_sets]
-    stage1 = assign_modules(
+    stage1 = _timed_assign(
+        metrics,
+        "STOR2.globals",
         global_sets,
         k,
         method=method,
@@ -153,7 +185,9 @@ def stor2(
             for v in ops
             if v not in global_ids
         }
-        stage = assign_modules(
+        stage = _timed_assign(
+            metrics,
+            f"STOR2.region{region}",
             region_sets,
             k,
             method=method,
@@ -167,7 +201,8 @@ def stor2(
         alloc = stage.allocation
 
     # Values appearing in no instruction at all.
-    final = assign_modules(
+    final = _timed_assign(
+        metrics, "STOR2.finalize",
         [], k, duplicable=duplicable, initial=alloc,
         all_values=all_values, seed=seed,
     )
@@ -186,6 +221,7 @@ def stor3(
     method: str = "hitting_set",
     groups: int = 2,
     seed: int = 0,
+    metrics: "Metrics | None" = None,
     **kwargs,
 ) -> StorageResult:
     """Split the instruction stream into ``groups`` consecutive chunks
@@ -202,7 +238,9 @@ def stor3(
         chunk = operand_sets[g * chunk_size : (g + 1) * chunk_size]
         if not chunk and alloc is not None:
             continue
-        stage = assign_modules(
+        stage = _timed_assign(
+            metrics,
+            f"STOR3.chunk{g}",
             chunk,
             k,
             method=method,
@@ -214,7 +252,8 @@ def stor3(
         stages.append(stage)
         alloc = stage.allocation
 
-    final = assign_modules(
+    final = _timed_assign(
+        metrics, "STOR3.finalize",
         [], k, duplicable=duplicable, initial=alloc,
         all_values=all_values, seed=seed,
     )
@@ -232,6 +271,7 @@ def stor_region(
     k: int | None = None,
     method: str = "hitting_set",
     seed: int = 0,
+    metrics: "Metrics | None" = None,
     **kwargs,
 ) -> StorageResult:
     """One region at a time (paper §2: "One solution to this problem is
@@ -256,7 +296,9 @@ def stor_region(
         region_sets = [
             ops for ops, r in zip(operand_sets, region_of_liw) if r == region
         ]
-        stage = assign_modules(
+        stage = _timed_assign(
+            metrics,
+            f"STOR-REGION.region{region}",
             region_sets,
             k,
             method=method,
@@ -268,7 +310,8 @@ def stor_region(
         stages.append(stage)
         alloc = stage.allocation
 
-    final = assign_modules(
+    final = _timed_assign(
+        metrics, "STOR-REGION.finalize",
         [], k, duplicable=duplicable, initial=alloc,
         all_values=all_values, seed=seed,
     )

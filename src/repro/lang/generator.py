@@ -55,8 +55,22 @@ class _Scope:
 
 
 class ProgramGenerator:
-    def __init__(self, seed: int, max_statements: int = 12):
-        self.rng = random.Random(seed)
+    """Generator over an explicit :class:`random.Random`.
+
+    Either pass ``rng`` (sole source of randomness — no module-level
+    ``random`` state is ever touched, so generation is reproducible
+    across processes and interleavings) or ``seed`` to have one built.
+    """
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        max_statements: int = 12,
+        rng: random.Random | None = None,
+    ):
+        if rng is not None and seed is not None:
+            raise ValueError("pass either seed or rng, not both")
+        self.rng = rng if rng is not None else random.Random(seed)
         self.max_statements = max_statements
         self._loop_var_count = 0
 
@@ -265,13 +279,26 @@ class ProgramGenerator:
                            ast.Block(_LOC, body))
 
 
-def random_program(seed: int, max_statements: int = 12) -> ast.Program:
-    """A random, valid, terminating program AST."""
-    return ProgramGenerator(seed, max_statements).generate()
+def random_program(
+    seed: int | None = None,
+    max_statements: int = 12,
+    rng: random.Random | None = None,
+) -> ast.Program:
+    """A random, valid, terminating program AST.
+
+    Generation draws exclusively from the seeded ``random.Random``
+    (given, or built from ``seed``): the same seed always yields the
+    same AST, byte-identical under :func:`random_source`.
+    """
+    return ProgramGenerator(seed, max_statements, rng).generate()
 
 
-def random_source(seed: int, max_statements: int = 12) -> str:
+def random_source(
+    seed: int | None = None,
+    max_statements: int = 12,
+    rng: random.Random | None = None,
+) -> str:
     """Source text of a random program (via the unparser)."""
     from .unparse import unparse
 
-    return unparse(random_program(seed, max_statements))
+    return unparse(random_program(seed, max_statements, rng))

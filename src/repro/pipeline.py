@@ -14,7 +14,9 @@ Most callers want :func:`compile_source` and then either
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
 
 from .core.allocation import Allocation
 from .core.strategies import StorageResult, run_strategy
@@ -31,6 +33,21 @@ from .liw.schedule import Schedule
 from .liw.scheduler import schedule_program
 from .memsim.interleave import make_layout
 from .memsim.simulator import MemoryReport, MemorySimulator
+
+if TYPE_CHECKING:  # avoid a runtime repro.service <-> repro.pipeline cycle
+    from .service.metrics import Metrics, StageMetric
+
+
+@contextmanager
+def _stage(
+    metrics: "Metrics | None", name: str
+) -> "Iterator[StageMetric | None]":
+    """Time one front-end stage when a metrics collector is supplied."""
+    if metrics is None:
+        yield None
+    else:
+        with metrics.stage(name) as record:
+            yield record
 
 
 @dataclass(slots=True)
@@ -56,6 +73,7 @@ def compile_source(
     immediate_limit: int = 15,
     simplify: bool = True,
     rename_mode: str = "web",
+    metrics: "Metrics | None" = None,
 ) -> CompiledProgram:
     """Compile mini-language source down to a LIW schedule.
 
@@ -65,18 +83,33 @@ def compile_source(
     the immediate fields into data memory, where they participate in
     storage assignment as read-only values.  The paper-scale experiment
     configuration (:func:`compile_for_paper`) enables both.
+
+    ``metrics`` (a :class:`repro.service.Metrics`) collects per-stage
+    wall times for the batch service's reports.
     """
     machine = machine or MachineConfig()
-    tree = parse(source)
+    with _stage(metrics, "parse"):
+        tree = parse(source)
     if unroll > 1:
-        tree = unroll_program(tree, unroll, unroll_innermost_only)
-    analyze(tree)
-    tac_prog = lower_ast(tree, constants_in_memory, immediate_limit)
-    cfg = build_cfg(tac_prog)
+        with _stage(metrics, "unroll"):
+            tree = unroll_program(tree, unroll, unroll_innermost_only)
+    with _stage(metrics, "sema"):
+        analyze(tree)
+    with _stage(metrics, "lower"):
+        tac_prog = lower_ast(tree, constants_in_memory, immediate_limit)
+        cfg = build_cfg(tac_prog)
     if simplify:
-        cfg = simplify_cfg(cfg)
-    renamed = rename(cfg, mode=rename_mode)
-    schedule = schedule_program(renamed, machine)
+        with _stage(metrics, "simplify"):
+            cfg = simplify_cfg(cfg)
+    with _stage(metrics, "rename") as record:
+        renamed = rename(cfg, mode=rename_mode)
+        if record is not None:
+            record.counts["values"] = len(renamed.values)
+    with _stage(metrics, "schedule") as record:
+        schedule = schedule_program(renamed, machine)
+        if record is not None:
+            record.counts["instructions"] = schedule.num_instructions
+            record.counts["operations"] = schedule.num_operations
     return CompiledProgram(tac_prog.name, cfg, renamed, schedule)
 
 

@@ -1,0 +1,33 @@
+"""Batch-compilation service layer.
+
+Turns the one-program-at-a-time library into a servable batch system:
+
+``repro.service.metrics``
+    Per-stage wall-clock timing and size counters, threaded through the
+    pipeline and the storage strategies.
+``repro.service.cache``
+    Content-addressed memoization of :class:`~repro.core.strategies.
+    StorageResult` keyed by (renamed program, machine shape, strategy
+    knobs), with optional on-disk persistence across runs.
+``repro.service.batch``
+    :class:`BatchCompiler` — fans a corpus of jobs across a process
+    pool with per-job timeouts and graceful serial fallback.
+
+See ``docs/service.md`` for the API and the cache-key scheme.
+"""
+
+from .batch import BatchCompiler, BatchJob, BatchReport, JobResult
+from .cache import AllocationCache, job_key, program_fingerprint
+from .metrics import Metrics, StageMetric
+
+__all__ = [
+    "AllocationCache",
+    "BatchCompiler",
+    "BatchJob",
+    "BatchReport",
+    "JobResult",
+    "Metrics",
+    "StageMetric",
+    "job_key",
+    "program_fingerprint",
+]

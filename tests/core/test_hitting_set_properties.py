@@ -1,0 +1,104 @@
+"""Property-based tests for the Fig. 9 hitting-set heuristics.
+
+Random set families (seeded, deterministic) over universes of at most
+12 values; every generated combination must be hit by the returned set,
+and the heuristic's size must stay within the paper's H_m bound of the
+brute-force minimum (``repro.core.exact.min_hitting_set``), where m is
+the largest number of sets any one element appears in.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.worstcase import h_m
+from repro.core.exact import min_hitting_set
+from repro.core.hitting_set import (
+    greedy_hitting_set,
+    is_hitting_set,
+    paper_hitting_set,
+)
+
+
+def _random_family(seed: int) -> tuple[list[frozenset[int]], int]:
+    """A random family of conflict combinations and the module bound k
+    fed to the paper heuristic (always >= the largest set)."""
+    rng = random.Random(seed)
+    universe = rng.randint(3, 12)
+    k = rng.randint(2, 6)
+    max_size = min(k, universe)
+    sets = [
+        frozenset(rng.sample(range(universe), rng.randint(1, max_size)))
+        for _ in range(rng.randint(1, 14))
+    ]
+    return sets, max(k, max(len(s) for s in sets))
+
+
+def _max_occurrences(sets: list[frozenset[int]]) -> int:
+    return max(sum(1 for s in sets if v in s) for v in set().union(*sets))
+
+
+@pytest.mark.parametrize("seed", range(150))
+def test_generated_combinations_always_hit(seed):
+    """Both heuristics return a genuine hitting set drawn from the
+    universe, with every singleton forced in (Fig. 9 step 1)."""
+    sets, k = _random_family(seed)
+    universe = set().union(*sets)
+
+    for hitting in (paper_hitting_set(sets, k), greedy_hitting_set(sets)):
+        assert is_hitting_set(sets, hitting)
+        assert hitting <= universe
+        for s in sets:
+            assert s & hitting
+
+    paper = paper_hitting_set(sets, k)
+    for s in sets:
+        if len(s) == 1:
+            assert s <= paper
+
+
+@pytest.mark.parametrize("seed", range(150))
+def test_heuristic_within_h_m_bound_of_optimum(seed):
+    """|heuristic| <= H_m * |optimal| on every instance (universe <= 12,
+    so the branch-and-bound optimum is exact and fast)."""
+    sets, k = _random_family(seed)
+    optimal = min_hitting_set(sets)
+    assert is_hitting_set(sets, optimal)
+    bound = h_m(_max_occurrences(sets))
+
+    paper = paper_hitting_set(sets, k)
+    greedy = greedy_hitting_set(sets)
+    assert len(optimal) <= len(paper)
+    assert len(optimal) <= len(greedy)
+    if optimal:
+        assert len(paper) <= bound * len(optimal) + 1e-9
+        assert len(greedy) <= bound * len(optimal) + 1e-9
+
+
+@pytest.mark.parametrize("seed", range(0, 150, 5))
+def test_heuristics_deterministic(seed):
+    """Repeated runs agree exactly, and the greedy (which scores by
+    coverage counts only) is invariant under input order.  The paper's
+    one-pass heuristic is *not* order-invariant — it walks same-size
+    sets in input order and earlier picks pre-hit later sets — so for it
+    only call-to-call determinism is guaranteed."""
+    sets, k = _random_family(seed)
+    assert paper_hitting_set(sets, k) == paper_hitting_set(list(sets), k)
+    shuffled = list(sets)
+    random.Random(seed + 1).shuffle(shuffled)
+    assert greedy_hitting_set(sets) == greedy_hitting_set(shuffled)
+    shuffled_hit = paper_hitting_set(shuffled, k)
+    assert is_hitting_set(sets, shuffled_hit)
+
+
+def test_rejects_out_of_range_sets():
+    with pytest.raises(ValueError):
+        paper_hitting_set([set()], k=3)
+    with pytest.raises(ValueError):
+        paper_hitting_set([{1, 2, 3, 4}], k=3)
+
+
+def test_empty_family():
+    assert paper_hitting_set([], k=3) == set()
+    assert greedy_hitting_set([]) == set()
+    assert min_hitting_set([]) == set()

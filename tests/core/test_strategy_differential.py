@@ -1,0 +1,143 @@
+"""Differential tests: backtracking vs hitting-set vs the exact optimum.
+
+Three angles:
+
+- on random small operand-set instances (every value duplicable), both
+  duplication methods must produce conflict-free allocations, and
+  neither may use *fewer* total copies than the brute-force optimum of
+  :func:`repro.core.exact.min_total_copies`;
+- on randomly generated small programs, every STOR strategy under both
+  methods must yield a total allocation whose residual conflicts involve
+  only non-duplicable (multi-definition) values;
+- the EXACT benchmark (``repro/programs/exact_solver.py``) — the
+  heaviest registry program — must allocate conflict-free under all
+  strategies and methods.
+"""
+
+import random
+
+import pytest
+
+from repro.core import run_strategy
+from repro.core.assign import assign_modules
+from repro.core.exact import min_total_copies
+from repro.core.verify import (
+    instruction_conflict_free,
+    verify_allocation,
+)
+from repro.ir import build_cfg, lower_ast, rename
+from repro.ir.simplify import simplify_cfg
+from repro.lang import analyze, parse
+from repro.lang.generator import random_source
+from repro.liw import MachineConfig, schedule_program
+from repro.programs import get_program
+
+METHODS = ("hitting_set", "backtrack")
+STRATEGIES = ("STOR1", "STOR2", "STOR3")
+
+
+def _random_instance(seed: int) -> tuple[list[frozenset[int]], int]:
+    """A small all-duplicable instance the brute-force optimum can
+    handle: <= 6 values, k = 3, instruction widths <= 3."""
+    rng = random.Random(seed)
+    n = rng.randint(3, 6)
+    sets = [
+        frozenset(rng.sample(range(n), rng.randint(2, 3)))
+        for _ in range(rng.randint(2, 5))
+    ]
+    return sets, 3
+
+
+@pytest.mark.parametrize("seed", range(60))
+@pytest.mark.parametrize("method", METHODS)
+def test_methods_conflict_free_on_random_instances(seed, method):
+    sets, k = _random_instance(seed)
+    result = assign_modules(sets, k, method=method)
+    assert verify_allocation(sets, result.allocation), (method, sets)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_heuristics_never_beat_exact_optimum(seed):
+    """Copy-count sanity: a heuristic using fewer total copies than the
+    brute-force minimum would mean the 'optimum' is not optimal (or the
+    heuristic's allocation is not actually conflict-free)."""
+    sets, k = _random_instance(seed)
+    optimal = min_total_copies(sets, k)
+    assert optimal is not None, "brute force exhausted its copy budget"
+    assert verify_allocation(sets, optimal)
+
+    for method in METHODS:
+        result = assign_modules(sets, k, method=method)
+        assert verify_allocation(sets, result.allocation)
+        # The heuristic places every value the optimum places (same
+        # universe), so total copies are directly comparable.
+        assert result.allocation.total_copies >= optimal.total_copies, (
+            method,
+            sets,
+        )
+
+
+def _compiled(source: str, machine: MachineConfig):
+    tree = parse(source)
+    analyze(tree)
+    cfg = simplify_cfg(build_cfg(lower_ast(tree, constants_in_memory=True)))
+    renamed = rename(cfg)
+    return renamed, schedule_program(renamed, machine)
+
+
+def _assert_conflict_free_mod_multidef(strategy, method, renamed, schedule):
+    storage = run_strategy(
+        strategy, schedule, renamed, method=method
+    )
+    multi_def = {v.id for v in renamed.values if v.multi_def}
+    for ops in schedule.operand_sets():
+        if ops and not instruction_conflict_free(ops, storage.allocation):
+            assert ops & multi_def, (strategy, method, sorted(ops))
+    # The allocation is total: every live value holds at least one copy.
+    for v in renamed.values:
+        if v.def_sites or v.use_sites:
+            assert storage.allocation.is_placed(v.id), (strategy, v.id)
+    return storage
+
+
+@pytest.mark.parametrize("seed", range(0, 12, 2))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("method", METHODS)
+def test_strategies_conflict_free_on_random_programs(seed, strategy, method):
+    source = random_source(seed, max_statements=8)
+    machine = MachineConfig(num_fus=4, num_modules=4)
+    renamed, schedule = _compiled(source, machine)
+    _assert_conflict_free_mod_multidef(strategy, method, renamed, schedule)
+
+
+@pytest.mark.parametrize("seed", range(0, 12, 2))
+def test_methods_agree_on_copy_scale(seed):
+    """Backtracking and hitting set need not tie, but neither may drop a
+    value or leave a duplicable conflict — so on the same program their
+    copy totals differ only by duplication choices, never placement."""
+    source = random_source(seed, max_statements=8)
+    machine = MachineConfig(num_fus=4, num_modules=4)
+    renamed, schedule = _compiled(source, machine)
+    totals = {}
+    for method in METHODS:
+        storage = _assert_conflict_free_mod_multidef(
+            "STOR1", method, renamed, schedule
+        )
+        totals[method] = storage.allocation.total_copies
+        assert set(storage.allocation.values()) == {
+            v.id for v in renamed.values if v.def_sites or v.use_sites
+        }
+    assert totals["hitting_set"] >= len(renamed.values) - sum(
+        1 for v in renamed.values if not (v.def_sites or v.use_sites)
+    )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("method", METHODS)
+def test_exact_benchmark_allocates_conflict_free(strategy, method):
+    """The registry's EXACT program (residue-arithmetic linear solver,
+    the biggest corpus member) under every strategy/method pair."""
+    spec = get_program("EXACT")
+    machine = MachineConfig(num_fus=4, num_modules=8)
+    renamed, schedule = _compiled(spec.source, machine)
+    _assert_conflict_free_mod_multidef(strategy, method, renamed, schedule)

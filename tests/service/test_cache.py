@@ -1,0 +1,167 @@
+"""Cache-key scheme and StorageResult round-tripping."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.liw.machine import MachineConfig
+from repro.pipeline import allocate_storage, compile_source
+from repro.service.cache import (
+    AllocationCache,
+    decode_storage_result,
+    encode_storage_result,
+    job_key,
+    program_fingerprint,
+)
+
+SOURCE = """
+program cachedemo;
+var i, n, s: int; a: array[8] of int;
+begin
+  n := 8;
+  for i := 0 to n - 1 do a[i] := i * i;
+  s := 0;
+  for i := 0 to n - 1 do s := s + a[i];
+  write(s)
+end.
+"""
+
+# Structurally different: an extra operand in the reduction changes the
+# per-instruction operand sets the strategies consume.
+OTHER = SOURCE.replace("s := s + a[i]", "s := s + a[i] + i")
+
+# Only the opcode differs — operand structure (what storage assignment
+# consumes) is identical, so these two *share* a fingerprint by design.
+SAME_SHAPE = SOURCE.replace("i * i", "i + i")
+
+
+def _fingerprint(source=SOURCE, machine=None, unroll=1):
+    program = compile_source(source, machine or MachineConfig(), unroll=unroll)
+    return program_fingerprint(program.schedule, program.renamed)
+
+
+def test_fingerprint_deterministic_and_content_sensitive():
+    assert _fingerprint() == _fingerprint()
+    assert _fingerprint() != _fingerprint(OTHER)
+    assert _fingerprint() != _fingerprint(unroll=2)
+    assert _fingerprint() != _fingerprint(
+        machine=MachineConfig(num_fus=2, num_modules=2)
+    )
+
+
+def test_fingerprint_is_content_addressed_not_text_addressed():
+    """Programs whose renamed operand structure coincides share one
+    fingerprint even when the source text differs — the cache key covers
+    exactly what the STOR strategies consume."""
+    assert _fingerprint() == _fingerprint(SAME_SHAPE)
+
+
+def test_job_key_separates_strategy_knobs():
+    fp = _fingerprint()
+    machine = MachineConfig()
+    base = job_key(fp, machine, "STOR1")
+    assert base == job_key(fp, machine, "stor1")  # case-insensitive
+    assert base != job_key(fp, machine, "STOR2")
+    assert base != job_key(fp, machine, "STOR1", method="backtrack")
+    assert base != job_key(fp, machine, "STOR1", k=4)
+    assert base != job_key(fp, machine, "STOR1", seed=1)
+    assert base != job_key(
+        fp, MachineConfig(num_modules=4), "STOR1"
+    )
+
+
+def test_key_stable_across_processes_and_hash_seeds():
+    """The content key must not depend on PYTHONHASHSEED or process
+    identity — it addresses a cache shared between pool workers and
+    across runs."""
+    script = textwrap.dedent(
+        """
+        from repro.liw.machine import MachineConfig
+        from repro.pipeline import compile_source
+        from repro.service.cache import job_key, program_fingerprint
+        source = %r
+        program = compile_source(source, MachineConfig())
+        fp = program_fingerprint(program.schedule, program.renamed)
+        print(job_key(fp, MachineConfig(), "STOR1", seed=0))
+        """
+        % SOURCE
+    )
+    keys = []
+    for hash_seed in ("1", "4242"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert proc.returncode == 0, proc.stderr
+        keys.append(proc.stdout.strip())
+    assert keys[0] == keys[1]
+    assert len(keys[0]) == 64  # full sha256 hex
+
+
+def _storage():
+    program = compile_source(SOURCE, MachineConfig())
+    return allocate_storage(program, strategy="STOR1")
+
+
+def test_storage_result_round_trip():
+    storage = _storage()
+    encoded = encode_storage_result(storage)
+    json.dumps(encoded)  # must be JSON-able as-is
+    decoded = decode_storage_result(encoded)
+    assert encode_storage_result(decoded) == encoded
+    assert decoded.strategy == storage.strategy
+    assert decoded.allocation.as_dict() == storage.allocation.as_dict()
+    assert decoded.singles == storage.singles
+    assert decoded.multiples == storage.multiples
+    # primary() (the defining write's module) survives the round trip.
+    for v in storage.allocation.values():
+        assert decoded.allocation.primary(v) == storage.allocation.primary(v)
+
+
+def test_hit_miss_accounting():
+    cache = AllocationCache()
+    storage = _storage()
+    assert cache.get("k1") is None
+    assert (cache.hits, cache.misses) == (0, 1)
+    cache.put("k1", storage)
+    assert cache.get("k1") is not None
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert "k1" in cache
+    assert (cache.hits, cache.misses) == (1, 1)  # peek does not count
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+def test_disk_persistence(tmp_path):
+    storage = _storage()
+    first = AllocationCache(tmp_path)
+    first.put("deadbeef", storage)
+
+    second = AllocationCache(tmp_path)
+    got = second.get("deadbeef")
+    assert got is not None
+    assert encode_storage_result(got) == encode_storage_result(storage)
+    assert second.stats()["hits"] == 1
+
+    second.clear(disk=True)
+    third = AllocationCache(tmp_path)
+    assert third.get("deadbeef") is None
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path):
+    cache = AllocationCache(tmp_path)
+    (tmp_path / "badkey.json").write_text("{not json")
+    assert cache.get("badkey") is None
+    assert cache.misses == 1
