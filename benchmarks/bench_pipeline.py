@@ -1,0 +1,114 @@
+"""Per-pass pipeline benchmark: cold vs warm compilation times.
+
+Runs every paper program through the pass-manager pipeline twice over a
+shared :class:`repro.passes.cache.ArtifactCache` — once cold (every pass
+executes) and once warm (front-end passes served from cache) — and
+emits ``BENCH_pipeline.json`` with per-pass timings and cache counters.
+
+Usage::
+
+    python benchmarks/bench_pipeline.py [--out BENCH_pipeline.json]
+                                        [--strategy STOR1] [--unroll 2]
+
+This is a standalone script (not collected by pytest): it measures the
+framework itself, where the pytest-benchmark suite measures the core
+algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.passes.artifacts import PipelineOptions  # noqa: E402
+from repro.passes.cache import ArtifactCache  # noqa: E402
+from repro.passes.events import CollectingTracer  # noqa: E402
+from repro.pipeline import run_pipeline  # noqa: E402
+from repro.programs import all_programs  # noqa: E402
+
+
+def _trace_run(source: str, options: PipelineOptions, cache: ArtifactCache):
+    tracer = CollectingTracer()
+    t0 = time.perf_counter()
+    run = run_pipeline(source, options, tracer=tracer, cache=cache)
+    wall = time.perf_counter() - t0
+    passes = {}
+    for event in tracer.completed():
+        if "." in event.name:  # strategy sub-stages: reported separately
+            continue
+        passes[event.name] = {
+            "status": event.status,
+            "wall_time": event.wall_time,
+        }
+    return {
+        "wall_time": wall,
+        "passes": passes,
+        "cache_hits": run.cache_hits,
+        "cache_misses": run.cache_misses,
+    }
+
+
+def bench(strategy: str, unroll: int) -> dict[str, object]:
+    options = PipelineOptions(strategy=strategy, unroll=unroll)
+    programs: dict[str, object] = {}
+    for spec in all_programs():
+        cache = ArtifactCache()
+        cold = _trace_run(spec.source, options, cache)
+        warm = _trace_run(spec.source, options, cache)
+        speedup = (
+            cold["wall_time"] / warm["wall_time"]
+            if warm["wall_time"] > 0
+            else None
+        )
+        programs[spec.name] = {
+            "cold": cold,
+            "warm": warm,
+            "warm_speedup": speedup,
+        }
+    totals = {
+        phase: sum(programs[n][phase]["wall_time"] for n in programs)
+        for phase in ("cold", "warm")
+    }
+    return {
+        "config": {"strategy": strategy, "unroll": unroll},
+        "programs": programs,
+        "totals": totals,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_pipeline.json",
+                        help="output JSON path")
+    parser.add_argument("--strategy", default="STOR1",
+                        choices=["STOR1", "STOR2", "STOR3"])
+    parser.add_argument("--unroll", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    report = bench(args.strategy, args.unroll)
+    Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True))
+
+    width = max(len(name) for name in report["programs"])
+    print(f"{'program':{width}s} {'cold':>9s} {'warm':>9s} {'hits':>5s}")
+    for name, entry in report["programs"].items():
+        print(
+            f"{name:{width}s} {entry['cold']['wall_time'] * 1e3:8.2f}ms "
+            f"{entry['warm']['wall_time'] * 1e3:8.2f}ms "
+            f"{entry['warm']['cache_hits']:5d}"
+        )
+    totals = report["totals"]
+    print(
+        f"{'total':{width}s} {totals['cold'] * 1e3:8.2f}ms "
+        f"{totals['warm'] * 1e3:8.2f}ms"
+    )
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

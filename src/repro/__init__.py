@@ -19,6 +19,9 @@ Subpackages
     The paper's six benchmark programs, rewritten in the mini language.
 ``repro.analysis``
     Experiment harness regenerating every table and figure.
+``repro.passes``
+    The pass-manager framework the pipeline runs on: typed artifacts,
+    chained fingerprints, tracer events, stage-level caching.
 
 Quick start
 -----------
@@ -38,12 +41,14 @@ from .core import (
     stor_region,
 )
 from .liw.machine import PAPER_MACHINE, PAPER_MACHINE_K4, MachineConfig
+from .passes.artifacts import PipelineOptions
 from .pipeline import (
     CompiledProgram,
     SimulationResult,
     allocate_storage,
     compile_for_paper,
     compile_source,
+    run_pipeline,
     simulate,
 )
 
@@ -61,10 +66,12 @@ __all__ = [
     "PAPER_MACHINE",
     "PAPER_MACHINE_K4",
     "CompiledProgram",
+    "PipelineOptions",
     "SimulationResult",
     "allocate_storage",
     "compile_for_paper",
     "compile_source",
+    "run_pipeline",
     "simulate",
     "__version__",
 ]

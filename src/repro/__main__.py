@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro compile PROGRAM.p [options]      # schedule + allocation
+    python -m repro compile PROGRAM.p --trace        # + per-pass timings
     python -m repro run PROGRAM.p [--input V ...]    # execute + Δ report
     python -m repro bench NAME                       # one paper benchmark
     python -m repro batch [NAME ...]                 # pooled corpus + cache
@@ -20,7 +21,9 @@ from pathlib import Path
 
 from .core.strategies import run_strategy
 from .liw.machine import MachineConfig
-from .pipeline import compile_source, simulate
+from .passes.artifacts import PipelineOptions, compiled_program
+from .passes.events import CollectingTracer
+from .pipeline import compile_source, run_pipeline, simulate
 from .programs import get_program, program_names
 
 
@@ -30,12 +33,30 @@ def _machine(args: argparse.Namespace) -> MachineConfig:
     )
 
 
+def _options(args: argparse.Namespace) -> PipelineOptions:
+    """The pass-pipeline configuration one CLI invocation describes."""
+    return PipelineOptions(
+        machine=_machine(args),
+        unroll=args.unroll,
+        constants_in_memory=args.memory_constants,
+        simplify=args.simplify,
+        rename_mode=args.rename_mode,
+        strategy=args.strategy,
+        method=args.method,
+        seed=args.seed,
+        layout=args.layout,
+        delta=args.delta,
+    )
+
+
 def _compile(args: argparse.Namespace, source: str):
     return compile_source(
         source,
         _machine(args),
         unroll=args.unroll,
         constants_in_memory=args.memory_constants,
+        simplify=args.simplify,
+        rename_mode=args.rename_mode,
     )
 
 
@@ -47,11 +68,15 @@ def _parse_input_value(text: str) -> object:
 
 
 def cmd_compile(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis.report import format_trace, trace_json
+
     source = Path(args.program).read_text()
-    program = _compile(args, source)
-    storage = run_strategy(
-        args.strategy, program.schedule, program.renamed, method=args.method
-    )
+    tracer = CollectingTracer()
+    run = run_pipeline(source, _options(args), tracer=tracer)
+    program = compiled_program(run.store)
+    storage = run.artifact("storage")
     print(f"; {program.name}: {program.schedule.num_instructions} long "
           f"instructions, {program.schedule.num_operations} operations")
     if args.show_schedule:
@@ -61,6 +86,13 @@ def cmd_compile(args: argparse.Namespace) -> int:
           f"{len(storage.residual_instructions)} residual conflicts")
     if args.show_allocation:
         print(storage.allocation.grid())
+    if args.trace:
+        print(format_trace(tracer.events))
+    if args.trace_json:
+        Path(args.trace_json).write_text(
+            json.dumps(trace_json(tracer.events), indent=2)
+        )
+        print(f"; pass trace written to {args.trace_json}", file=sys.stderr)
     return 0
 
 
@@ -68,7 +100,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     source = Path(args.program).read_text()
     program = _compile(args, source)
     storage = run_strategy(
-        args.strategy, program.schedule, program.renamed, method=args.method
+        args.strategy, program.schedule, program.renamed,
+        method=args.method, seed=args.seed,
     )
     inputs = [_parse_input_value(v) for v in args.input]
     result = simulate(
@@ -90,7 +123,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     spec = get_program(args.name)
     program = _compile(args, spec.source)
     storage = run_strategy(
-        args.strategy, program.schedule, program.renamed, method=args.method
+        args.strategy, program.schedule, program.renamed,
+        method=args.method, seed=args.seed,
     )
     result = simulate(
         program, storage.allocation, list(spec.inputs), layout=args.layout
@@ -193,11 +227,23 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["hitting_set", "backtrack"])
         p.add_argument("--layout", default="interleaved",
                        choices=["interleaved", "skewed", "per_array", "single"])
+        p.add_argument("--no-simplify", dest="simplify",
+                       action="store_false",
+                       help="skip the CFG simplification pass")
+        p.add_argument("--rename-mode", default="web",
+                       choices=["web", "variable"],
+                       help="value-renaming granularity")
+        p.add_argument("--seed", type=int, default=0,
+                       help="tie-break seed for the storage strategies")
 
     p_compile = sub.add_parser("compile", help="compile and allocate")
     p_compile.add_argument("program")
     p_compile.add_argument("--show-schedule", action="store_true")
     p_compile.add_argument("--show-allocation", action="store_true")
+    p_compile.add_argument("--trace", action="store_true",
+                           help="print the per-pass timing table")
+    p_compile.add_argument("--trace-json", default=None,
+                           help="write the JSON pass trace to this file")
     common(p_compile)
     p_compile.set_defaults(fn=cmd_compile)
 

@@ -4,15 +4,18 @@ Run as ``python -m repro.analysis.report``; EXPERIMENTS.md records one
 full output of this module next to the paper's numbers.
 
 Also renders the batch-service reports (``python -m repro batch``):
-:func:`batch_report_json` / :func:`format_batch_report`.
+:func:`batch_report_json` / :func:`format_batch_report` — and the
+per-pass trace tables of ``python -m repro compile --trace``:
+:func:`format_trace` / :func:`trace_json`.
 """
 
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 if TYPE_CHECKING:
+    from ..passes.events import PassEvent
     from ..service.batch import BatchReport
 
 from .figures import (
@@ -146,6 +149,41 @@ def full_report(unroll: int = 4) -> str:
     return "\n".join(parts)
 
 
+def format_trace(events: "Iterable[PassEvent]") -> str:
+    """Per-pass timing table for one pipeline run's terminal events.
+
+    Sub-stage events (``allocate.STOR2.region1``, ...) are indented
+    under their pass; skipped and cache-served passes are labelled.
+    """
+    rows = [e for e in events if e.is_terminal]
+    lines = [
+        f"{'pass':28s} {'status':8s} {'time':>10s}  details",
+        "-" * 72,
+    ]
+    total = 0.0
+    for e in rows:
+        status = {"end": "ran", "cache-hit": "cached"}.get(e.status, e.status)
+        name = e.name
+        if "." in name:  # sub-stage of a pass
+            name = "  " + name.split(".", 1)[1]
+        else:
+            total += e.wall_time if e.executed else 0.0
+        details = " ".join(f"{k}={v}" for k, v in e.counts.items())
+        if e.warnings:
+            details += ("  " if details else "") + "! " + "; ".join(e.warnings)
+        lines.append(
+            f"{name:28s} {status:8s} {e.wall_time * 1e3:9.3f}ms  {details}"
+        )
+    lines.append("-" * 72)
+    lines.append(f"{'total':28s} {'':8s} {total * 1e3:9.3f}ms")
+    return "\n".join(lines)
+
+
+def trace_json(events: "Iterable[PassEvent]") -> list[dict[str, object]]:
+    """JSON-able rendering of a run's terminal pass events."""
+    return [e.as_dict() for e in events if e.is_terminal]
+
+
 def batch_report_json(report: "BatchReport") -> dict[str, object]:
     """The metrics JSON of one batch run: per-job outcomes and stage
     metrics, aggregate stage totals, and cache hit/miss statistics."""
@@ -179,6 +217,14 @@ def format_batch_report(report: "BatchReport") -> str:
         f"cache {cache.get('hits', 0)} hit / {cache.get('misses', 0)} miss "
         f"({report.hit_rate:.0%} of jobs served from cache)"
     )
+    frontend = report.artifact_stats
+    if frontend.get("hits", 0) or frontend.get("misses", 0):
+        lines.append(
+            f"front-end passes: {frontend.get('hits', 0)} reused / "
+            f"{frontend.get('misses', 0)} compiled "
+            f"({frontend.get('entries', 0)} cached stage entr"
+            f"{'y' if frontend.get('entries', 0) == 1 else 'ies'})"
+        )
     totals = sorted(
         report.stage_totals().items(), key=lambda kv: -kv[1]
     )

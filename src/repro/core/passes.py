@@ -1,0 +1,54 @@
+"""Storage-assignment pass: schedule + renamed program -> StorageResult.
+
+Pass wrapper over :func:`repro.core.strategies.run_strategy`.  The
+strategy's internal stages (``STOR2.globals``, ``STOR3.chunk1``, ...)
+are re-emitted as sub-events of the ``allocate`` pass so tracers see
+the full per-stage breakdown the strategies already measure.
+"""
+
+from __future__ import annotations
+
+from ..passes.events import Metrics
+from ..passes.manager import Pass, PassContext
+from .strategies import run_strategy
+
+
+def _run_allocate(ctx: PassContext) -> None:
+    opts = ctx.options
+    stage_metrics = Metrics()
+    storage = run_strategy(
+        opts.strategy,
+        ctx.get("schedule"),  # type: ignore[arg-type]
+        ctx.get("renamed"),  # type: ignore[arg-type]
+        opts.k,
+        method=opts.method,
+        seed=opts.seed,
+        metrics=stage_metrics,
+        **opts.knobs(),
+    )
+    for stage in stage_metrics.stages:
+        ctx.emit_sub(stage.name, stage.wall_time, **stage.counts)
+    ctx.set("storage", storage)
+    ctx.count("singles", storage.singles)
+    ctx.count("multiples", storage.multiples)
+    ctx.count("total_copies", storage.total_copies)
+    residual = len(storage.residual_instructions)
+    ctx.count("residual", residual)
+    if residual:
+        ctx.warn(
+            f"{residual} instruction(s) still conflict after "
+            f"{storage.strategy}"
+        )
+
+
+ALLOCATE = Pass(
+    name="allocate",
+    run=_run_allocate,
+    reads=("schedule", "renamed"),
+    writes=("storage",),
+    config_keys=(
+        "strategy", "method", "k", "seed", "strategy_knobs", "machine",
+    ),
+)
+
+PASSES = (ALLOCATE,)

@@ -19,17 +19,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import Mapping
 
 from ..ir.regions import compute_regions
 from ..ir.rename import RenamedProgram
 from ..liw.schedule import Schedule
+from ..passes.events import Metrics
 from .allocation import Allocation
 from .assign import AssignmentResult, assign_modules
 from .verify import conflicting_instructions
-
-if TYPE_CHECKING:  # avoid a runtime repro.service <-> repro.core cycle
-    from ..service.metrics import Metrics
 
 
 @dataclass(slots=True)
@@ -330,6 +328,51 @@ STRATEGIES = {
     "STOR-REGION": stor_region,
 }
 
+#: Duplication approaches accepted by every strategy.
+METHODS = ("hitting_set", "backtrack")
+
+#: Knobs every strategy forwards to :func:`assign_modules`.
+_ASSIGN_KNOBS = ("module_choice", "tie_break", "use_atoms", "weights")
+
+#: Knobs understood by the strategies themselves (beyond the explicit
+#: ``method``/``seed``/``metrics`` parameters and positional ``k``).
+STRATEGY_KNOBS: dict[str, tuple[str, ...]] = {
+    "STOR1": _ASSIGN_KNOBS,
+    "STOR2": _ASSIGN_KNOBS,
+    "STOR3": _ASSIGN_KNOBS + ("groups",),
+    "STOR-REGION": _ASSIGN_KNOBS,
+}
+
+
+def validate_strategy_kwargs(name: str, kwargs: Mapping[str, object]) -> None:
+    """Reject unknown strategy/method names and unrecognised knobs.
+
+    Historically :func:`repro.pipeline.allocate_storage` forwarded any
+    ``**kwargs`` into the strategies, where a typo ended up as an
+    unexpected-keyword ``TypeError`` deep inside ``assign_modules`` —
+    or, worse, silently shadowed a positional default.  This validates
+    up front and names the valid options.
+    """
+    sname = name.upper()
+    if sname not in STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {name!r}; valid strategies: "
+            f"{', '.join(sorted(STRATEGIES))}"
+        )
+    method = kwargs.get("method", "hitting_set")
+    if method not in METHODS:
+        raise ValueError(
+            f"unknown method {method!r} for {sname}; valid methods: "
+            f"{', '.join(METHODS)}"
+        )
+    valid = ("method", "seed", "metrics") + STRATEGY_KNOBS[sname]
+    unknown = sorted(set(kwargs) - set(valid))
+    if unknown:
+        raise ValueError(
+            f"unknown {sname} option(s) {', '.join(map(repr, unknown))}; "
+            f"valid options: {', '.join(valid)}"
+        )
+
 
 def run_strategy(
     name: str,
@@ -338,8 +381,5 @@ def run_strategy(
     k: int | None = None,
     **kwargs,
 ) -> StorageResult:
-    try:
-        fn = STRATEGIES[name.upper()]
-    except KeyError:
-        raise ValueError(f"unknown strategy {name!r}") from None
-    return fn(schedule, renamed, k, **kwargs)
+    validate_strategy_kwargs(name, kwargs)
+    return STRATEGIES[name.upper()](schedule, renamed, k, **kwargs)

@@ -1,0 +1,77 @@
+"""Content fingerprints for the pass manager.
+
+Every pass in a pipeline owns a *chained* fingerprint::
+
+    fp_0      = digest({"artifacts": {"source": <text>}})
+    fp_pass_i = digest({"parent": fp_{i-1}, "pass": name, "config": {...}})
+
+so the fingerprint of any pass is a content address over the source
+text plus every configuration knob of every pass up to and including
+itself.  Two compilations share a pass fingerprint exactly when the
+pass (and its whole upstream pipeline) would compute the same artifact
+— which is what makes the fingerprint a safe stage-level cache key
+(:class:`repro.passes.cache.ArtifactCache`).
+
+Digests are SHA-256 over a canonical JSON rendering (sorted keys, no
+whitespace), so they are stable across processes and interpreter
+invocations regardless of ``PYTHONHASHSEED`` — the same property the
+service-layer allocation cache relies on
+(:mod:`repro.service.cache` imports :func:`canonical_bytes` from here).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def canonical_bytes(payload: object) -> bytes:
+    """Canonical JSON encoding: sorted keys, minimal separators, UTF-8."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def encode_value(value: object) -> object:
+    """Render a configuration value as canonical-JSON-able data.
+
+    Machine configurations are flattened to their defining tuple (the
+    same rendering :func:`repro.service.cache.job_key` uses); tuples
+    become lists; mappings are rebuilt with string keys; anything not
+    JSON-representable falls back to ``repr``.
+    """
+    if hasattr(value, "num_fus") and hasattr(value, "num_modules"):
+        # A MachineConfig (duck-typed to keep this module import-free).
+        return [
+            value.num_fus,
+            value.num_modules,
+            value.ports,  # type: ignore[attr-defined]
+            value.delta,  # type: ignore[attr-defined]
+        ]
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): encode_value(v) for k, v in value.items()}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (set, frozenset)):
+        return sorted(repr(v) for v in value)
+    return repr(value)
+
+
+def digest(payload: object) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``payload``."""
+    return hashlib.sha256(canonical_bytes(encode_value(payload))).hexdigest()
+
+
+def initial_fingerprint(artifacts: dict[str, object]) -> str:
+    """Fingerprint of a pipeline's initial artifacts (usually the
+    source text)."""
+    return digest({"artifacts": artifacts})
+
+
+def chain_fingerprint(
+    parent: str, pass_name: str, config: dict[str, object]
+) -> str:
+    """Fold one pass (name + configuration) into the fingerprint chain."""
+    return digest({"parent": parent, "pass": pass_name, "config": config})

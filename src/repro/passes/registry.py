@@ -1,0 +1,59 @@
+"""The standard pass pipelines, assembled from every layer's wrappers.
+
+Each subpackage contributes its own pass wrappers
+(``repro.lang.passes``, ``repro.ir.passes``, ``repro.liw.passes``,
+``repro.core.passes``, ``repro.memsim.passes``); this module stitches
+them into the presets the pipeline facade, the CLI, and the batch
+service run:
+
+``FRONTEND_PASSES``
+    parse -> unroll -> sema -> lower -> simplify -> rename -> schedule
+    (what :func:`repro.pipeline.compile_source` runs).
+``COMPILE_PASSES``
+    the front end plus ``allocate`` (``python -m repro compile``).
+``FULL_PIPELINE``
+    everything including ``simulate`` (``python -m repro run``).
+"""
+
+from __future__ import annotations
+
+from ..core.passes import ALLOCATE
+from ..ir.passes import LOWER, RENAME, SIMPLIFY, UNROLL
+from ..lang.passes import PARSE, SEMA
+from ..liw.passes import SCHEDULE
+from ..memsim.passes import SIMULATE
+from .cache import ArtifactCache
+from .events import Tracer
+from .manager import Pass, PassManager
+
+FRONTEND_PASSES: tuple[Pass, ...] = (
+    PARSE, UNROLL, SEMA, LOWER, SIMPLIFY, RENAME, SCHEDULE,
+)
+COMPILE_PASSES: tuple[Pass, ...] = FRONTEND_PASSES + (ALLOCATE,)
+FULL_PIPELINE: tuple[Pass, ...] = COMPILE_PASSES + (SIMULATE,)
+
+PASS_REGISTRY: dict[str, Pass] = {p.name: p for p in FULL_PIPELINE}
+
+
+def get_pass(name: str) -> Pass:
+    try:
+        return PASS_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown pass {name!r}; registered passes: "
+            f"{sorted(PASS_REGISTRY)}"
+        ) from None
+
+
+def default_manager(
+    passes: tuple[Pass, ...] | None = None,
+    tracer: Tracer | None = None,
+    cache: ArtifactCache | None = None,
+) -> PassManager:
+    """A pass manager over one of the standard presets (front end by
+    default)."""
+    return PassManager(
+        passes if passes is not None else FRONTEND_PASSES,
+        tracer=tracer,
+        cache=cache,
+    )

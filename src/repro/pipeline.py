@@ -1,67 +1,108 @@
 """End-to-end compilation pipeline: source text to simulated execution.
 
-This is the convenience layer gluing the substrates together the way the
-paper's compiler does:
+This is now a thin facade over the :mod:`repro.passes` pass manager.
+The staged pipeline the paper's compiler describes::
 
     source --(lang)--> AST --(ir)--> TAC --> CFG --> renamed values
            --(liw)--> long-instruction schedule
            --(core)--> storage allocation (STOR1/2/3)
            --(memsim)--> transfer-time report
 
+runs as the registered pass sequence
+``parse -> unroll -> sema -> lower -> simplify -> rename -> schedule
+-> allocate -> simulate`` (see :mod:`repro.passes.registry`), each pass
+with typed artifacts, a chained content fingerprint, and structured
+tracer events.  The functions here keep the original one-call API —
+and produce byte-identical results to the pre-pass-manager pipeline —
+while exposing the new machinery through the optional ``tracer`` and
+``cache`` arguments.
+
 Most callers want :func:`compile_source` and then either
-:func:`repro.core.run_strategy` or :func:`simulate`.
+:func:`repro.core.run_strategy` or :func:`simulate`; callers that want
+per-pass observability or stage-level reuse use :func:`run_pipeline`.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator
-
 from .core.allocation import Allocation
 from .core.strategies import StorageResult, run_strategy
-from .ir.builder import lower_ast
-from .ir.cfg import Cfg, build_cfg
-from .ir.rename import RenamedProgram, rename
-from .ir.simplify import simplify_cfg
-from .ir.unroll import unroll_program
-from .lang.parser import parse
-from .lang.sema import analyze
-from .liw.executor import ExecResult, LiwExecutor
 from .liw.machine import MachineConfig
-from .liw.schedule import Schedule
-from .liw.scheduler import schedule_program
-from .memsim.interleave import make_layout
-from .memsim.simulator import MemoryReport, MemorySimulator
+from .memsim.passes import simulate_program
+from .passes.artifacts import (
+    CompiledProgram,
+    PipelineOptions,
+    SimulationResult,
+    compiled_program,
+)
+from .passes.cache import ArtifactCache
+from .passes.events import Metrics, MetricsTracer, TeeTracer, Tracer
+from .passes.manager import Pass, PassManager, PassRunResult
+from .passes.registry import COMPILE_PASSES, FRONTEND_PASSES, FULL_PIPELINE
 
-if TYPE_CHECKING:  # avoid a runtime repro.service <-> repro.pipeline cycle
-    from .service.metrics import Metrics, StageMetric
+__all__ = [
+    "CompiledProgram",
+    "SimulationResult",
+    "allocate_storage",
+    "compile_for_paper",
+    "compile_source",
+    "run_pipeline",
+    "simulate",
+]
 
 
-@contextmanager
-def _stage(
-    metrics: "Metrics | None", name: str
-) -> "Iterator[StageMetric | None]":
-    """Time one front-end stage when a metrics collector is supplied."""
-    if metrics is None:
-        yield None
-    else:
-        with metrics.stage(name) as record:
-            yield record
+def _combined_tracer(
+    tracer: Tracer | None, metrics: Metrics | None
+) -> Tracer | None:
+    """Merge an explicit tracer with the legacy metrics channel."""
+    sinks: list[Tracer] = []
+    if tracer is not None:
+        sinks.append(tracer)
+    if metrics is not None:
+        sinks.append(MetricsTracer(metrics))
+    if not sinks:
+        return None
+    return sinks[0] if len(sinks) == 1 else TeeTracer(sinks)
 
 
-@dataclass(slots=True)
-class CompiledProgram:
-    """A program after the machine-independent and scheduling phases."""
+def _note_cache_counters(
+    metrics: Metrics | None, run: PassRunResult, cache: ArtifactCache | None
+) -> None:
+    # Hits are already counted per-event by MetricsTracer; only the
+    # miss total needs recording here.
+    if metrics is None or cache is None:
+        return
+    if run.cache_misses:
+        metrics.incr("pass_cache_misses", run.cache_misses)
 
-    name: str
-    cfg: Cfg
-    renamed: RenamedProgram
-    schedule: Schedule
 
-    @property
-    def machine(self) -> MachineConfig:
-        return self.schedule.machine
+def run_pipeline(
+    source: str,
+    options: PipelineOptions | None = None,
+    *,
+    passes: tuple[Pass, ...] | None = None,
+    inputs: list[object] | None = None,
+    tracer: Tracer | None = None,
+    metrics: Metrics | None = None,
+    cache: ArtifactCache | None = None,
+) -> PassRunResult:
+    """Run a pass pipeline over ``source`` and return the full result
+    (artifact store, per-pass fingerprints, events, cache counters).
+
+    ``passes`` defaults to compile + allocate; pass ``inputs`` to run
+    the full pipeline including simulation.
+    """
+    options = options if options is not None else PipelineOptions()
+    if passes is None:
+        passes = FULL_PIPELINE if inputs is not None else COMPILE_PASSES
+    initial: dict[str, object] = {"source": source}
+    if inputs is not None:
+        initial["inputs"] = list(inputs)
+    manager = PassManager(
+        passes, tracer=_combined_tracer(tracer, metrics), cache=cache
+    )
+    run = manager.run(initial, options)
+    _note_cache_counters(metrics, run, cache)
+    return run
 
 
 def compile_source(
@@ -73,7 +114,9 @@ def compile_source(
     immediate_limit: int = 15,
     simplify: bool = True,
     rename_mode: str = "web",
-    metrics: "Metrics | None" = None,
+    metrics: Metrics | None = None,
+    tracer: Tracer | None = None,
+    cache: ArtifactCache | None = None,
 ) -> CompiledProgram:
     """Compile mini-language source down to a LIW schedule.
 
@@ -84,33 +127,30 @@ def compile_source(
     storage assignment as read-only values.  The paper-scale experiment
     configuration (:func:`compile_for_paper`) enables both.
 
-    ``metrics`` (a :class:`repro.service.Metrics`) collects per-stage
-    wall times for the batch service's reports.
+    ``metrics`` (a :class:`repro.passes.Metrics`) collects per-stage
+    wall times for the batch service's reports; ``tracer`` receives the
+    richer per-pass event stream; ``cache`` (an
+    :class:`~repro.passes.cache.ArtifactCache`) enables stage-level
+    reuse of the front-end artifacts across calls.
     """
-    machine = machine or MachineConfig()
-    with _stage(metrics, "parse"):
-        tree = parse(source)
-    if unroll > 1:
-        with _stage(metrics, "unroll"):
-            tree = unroll_program(tree, unroll, unroll_innermost_only)
-    with _stage(metrics, "sema"):
-        analyze(tree)
-    with _stage(metrics, "lower"):
-        tac_prog = lower_ast(tree, constants_in_memory, immediate_limit)
-        cfg = build_cfg(tac_prog)
-    if simplify:
-        with _stage(metrics, "simplify"):
-            cfg = simplify_cfg(cfg)
-    with _stage(metrics, "rename") as record:
-        renamed = rename(cfg, mode=rename_mode)
-        if record is not None:
-            record.counts["values"] = len(renamed.values)
-    with _stage(metrics, "schedule") as record:
-        schedule = schedule_program(renamed, machine)
-        if record is not None:
-            record.counts["instructions"] = schedule.num_instructions
-            record.counts["operations"] = schedule.num_operations
-    return CompiledProgram(tac_prog.name, cfg, renamed, schedule)
+    options = PipelineOptions(
+        machine=machine,
+        unroll=unroll,
+        unroll_innermost_only=unroll_innermost_only,
+        constants_in_memory=constants_in_memory,
+        immediate_limit=immediate_limit,
+        simplify=simplify,
+        rename_mode=rename_mode,
+    )
+    run = run_pipeline(
+        source,
+        options,
+        passes=FRONTEND_PASSES,
+        tracer=tracer,
+        metrics=metrics,
+        cache=cache,
+    )
+    return compiled_program(run.store)
 
 
 def compile_for_paper(
@@ -136,30 +176,14 @@ def allocate_storage(
     k: int | None = None,
     **kwargs,
 ) -> StorageResult:
-    """Run one of the paper's storage strategies on a compiled program."""
+    """Run one of the paper's storage strategies on a compiled program.
+
+    Unknown strategy knobs raise a :class:`ValueError` naming the valid
+    options (see :func:`repro.core.strategies.validate_strategy_kwargs`).
+    """
     return run_strategy(
         strategy, program.schedule, program.renamed, k, method=method, **kwargs
     )
-
-
-@dataclass(slots=True)
-class SimulationResult:
-    exec_result: ExecResult
-    memory: MemoryReport
-
-    @property
-    def outputs(self) -> list[object]:
-        return self.exec_result.outputs
-
-    @property
-    def cycles(self) -> int:
-        return self.exec_result.cycles
-
-    @property
-    def total_time(self) -> float:
-        """Execution cycles plus transfer-serialisation stall time beyond
-        the one Δ-per-instruction already inside the cycle count."""
-        return self.cycles + self.memory.stall_time
 
 
 def simulate(
@@ -178,26 +202,14 @@ def simulate(
     compile-time-scheduled Transfer operations instead of eager
     multi-module writes (see :mod:`repro.liw.transfers`).
     """
-    machine = program.machine
-    arrays = sorted(program.cfg.arrays)
-    schedule = program.schedule
-    if scheduled_transfers:
-        from .liw.transfers import insert_transfers
-
-        schedule, _ = insert_transfers(schedule, allocation)
-    sim = MemorySimulator(
+    return simulate_program(
+        program.cfg,
+        program.renamed,
+        program.schedule,
         allocation,
-        make_layout(layout, arrays, machine.k),
-        machine.k,
-        delta=delta,
-        eager_copies=not scheduled_transfers,
-    )
-    executor = LiwExecutor(
-        schedule,
         inputs,
-        max_cycles,
-        observers=[sim],
-        initial_values=program.renamed.initial_values(),
+        layout=layout,
+        delta=delta,
+        max_cycles=max_cycles,
+        scheduled_transfers=scheduled_transfers,
     )
-    result = executor.run()
-    return SimulationResult(result, sim.report())

@@ -2,23 +2,27 @@
 
 Turns the one-program-at-a-time library into a servable batch system:
 
-``repro.service.metrics``
-    Per-stage wall-clock timing and size counters, threaded through the
-    pipeline and the storage strategies.
 ``repro.service.cache``
     Content-addressed memoization of :class:`~repro.core.strategies.
     StorageResult` keyed by (renamed program, machine shape, strategy
     knobs), with optional on-disk persistence across runs.
 ``repro.service.batch``
     :class:`BatchCompiler` — fans a corpus of jobs across a process
-    pool with per-job timeouts and graceful serial fallback.
+    pool with per-job timeouts, graceful serial fallback, and
+    stage-level front-end reuse via a
+    :class:`repro.passes.cache.ArtifactCache`.
 
-See ``docs/service.md`` for the API and the cache-key scheme.
+The per-stage :class:`Metrics`/:class:`StageMetric` protocol lives in
+:mod:`repro.passes.events` and is re-exported here for compatibility.
+
+See ``docs/service.md`` for the API and the cache-key scheme, and
+``docs/architecture.md`` for the pass framework the service now runs
+on.
 """
 
+from ..passes.events import Metrics, StageMetric
 from .batch import BatchCompiler, BatchJob, BatchReport, JobResult
 from .cache import AllocationCache, job_key, program_fingerprint
-from .metrics import Metrics, StageMetric
 
 __all__ = [
     "AllocationCache",

@@ -3,9 +3,12 @@
 :class:`BatchCompiler` fans a corpus of :class:`BatchJob` s across a
 ``concurrent.futures.ProcessPoolExecutor``:
 
-- each worker compiles its program, derives the content-addressed cache
-  key, consults the shared on-disk cache (when one is configured), and
-  runs the requested STOR strategy only on a miss;
+- each worker compiles its program through the pass manager (reusing
+  stage-level front-end artifacts from a per-process
+  :class:`repro.passes.cache.ArtifactCache` when the corpus repeats a
+  source), derives the content-addressed cache key, consults the shared
+  on-disk cache (when one is configured), and runs the requested STOR
+  strategy only on a miss;
 - the parent process keeps a small *source index* (cheap hash of the
   job's source text and knobs -> content key) so repeated corpus runs
   skip even compilation for already-solved jobs;
@@ -33,6 +36,8 @@ from dataclasses import dataclass, field
 
 from ..core.strategies import StorageResult, run_strategy
 from ..liw.machine import MachineConfig
+from ..passes.cache import ArtifactCache
+from ..passes.events import Metrics
 from ..pipeline import compile_source
 from .cache import (
     AllocationCache,
@@ -41,7 +46,13 @@ from .cache import (
     job_key,
     program_fingerprint,
 )
-from .metrics import Metrics
+
+#: Per-process front-end artifact cache: pool workers (and the parent's
+#: serial path via ``BatchCompiler.artifacts``) reuse parsed/renamed/
+#: scheduled artifacts across the jobs they execute, so a corpus that
+#: sweeps strategies over the same sources only runs the front end once
+#: per (source, front-end knobs) in each process.
+_WORKER_ARTIFACTS = ArtifactCache(max_entries=64)
 
 
 @dataclass(frozen=True, slots=True)
@@ -128,6 +139,8 @@ class BatchReport:
     wall_time: float
     workers: int
     cache_stats: dict[str, object] = field(default_factory=dict)
+    #: parent-side front-end artifact-cache statistics (stage-level reuse)
+    artifact_stats: dict[str, object] = field(default_factory=dict)
 
     @property
     def num_ok(self) -> int:
@@ -162,19 +175,23 @@ class BatchReport:
             },
             "stage_totals": self.stage_totals(),
             "cache": dict(self.cache_stats),
+            "frontend_cache": dict(self.artifact_stats),
             "num_ok": self.num_ok,
             "num_cache_hits": self.num_cache_hits,
             "hit_rate": self.hit_rate,
         }
 
 
-def _compile_and_key(job: BatchJob, metrics: Metrics):
+def _compile_and_key(
+    job: BatchJob, metrics: Metrics, artifacts: ArtifactCache | None = None
+):
     program = compile_source(
         job.source,
         job.machine,
         unroll=job.unroll,
         constants_in_memory=job.constants_in_memory,
         metrics=metrics,
+        cache=artifacts,
     )
     key = job_key(
         program_fingerprint(program.schedule, program.renamed),
@@ -205,7 +222,7 @@ def _execute_job(
     """Worker entry point (top-level so the pool can pickle it): compile,
     consult the shared disk cache, allocate on a miss."""
     metrics = Metrics()
-    program, key = _compile_and_key(job, metrics)
+    program, key = _compile_and_key(job, metrics, _WORKER_ARTIFACTS)
     cache = AllocationCache(cache_dir) if cache_dir is not None else None
     if cache is not None:
         cached = cache.get(key)
@@ -233,6 +250,11 @@ class BatchCompiler:
     cache:
         An :class:`AllocationCache`; defaults to a fresh in-memory one.
         Give it a directory to share hits across processes and runs.
+    artifact_cache:
+        A :class:`repro.passes.cache.ArtifactCache` for stage-level
+        front-end reuse on the parent's serial path; defaults to a
+        fresh bounded cache.  Jobs sharing a source and front-end knobs
+        (but differing in strategy/method) compile the front end once.
     worker_fn:
         Replacement for the worker entry point — used by the tests to
         simulate hung and dying workers.
@@ -245,12 +267,16 @@ class BatchCompiler:
         workers: int | None = None,
         timeout: float | None = None,
         cache: AllocationCache | None = None,
+        artifact_cache: ArtifactCache | None = None,
         worker_fn=None,
     ):
         self.workers = max(1, workers if workers is not None
                            else min(4, os.cpu_count() or 1))
         self.timeout = timeout
         self.cache = cache if cache is not None else AllocationCache()
+        self.artifacts = (
+            artifact_cache if artifact_cache is not None else ArtifactCache()
+        )
         self._worker_fn = worker_fn if worker_fn is not None else _execute_job
         self._index: dict[str, str] = {}
         self._load_index()
@@ -290,7 +316,7 @@ class BatchCompiler:
         t0 = time.perf_counter()
         metrics = Metrics()
         try:
-            program, key = _compile_and_key(job, metrics)
+            program, key = _compile_and_key(job, metrics, self.artifacts)
             storage = self.cache.get(key)
             hit = storage is not None
             if storage is None:
@@ -435,4 +461,5 @@ class BatchCompiler:
             time.perf_counter() - t0,
             self.workers,
             self.cache.stats(),
+            self.artifacts.stats(),
         )

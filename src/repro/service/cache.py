@@ -9,10 +9,22 @@ everything the STOR strategies consume:
 - the machine shape (functional units, modules, ports, Δ);
 - the strategy name and its knobs (method, k, groups, seed, ...).
 
-Because the key is built with :mod:`hashlib` over sorted JSON it is
-stable across processes and interpreter invocations regardless of
+Because the key is built with :mod:`hashlib` over sorted JSON (see
+:func:`repro.passes.fingerprint.canonical_bytes`, which this module
+shares with the pass manager's stage fingerprints) it is stable across
+processes and interpreter invocations regardless of
 ``PYTHONHASHSEED`` — a hard requirement for the on-disk cache shared by
 the batch workers.
+
+This cache is the *final-result* tier of the two-level caching scheme:
+
+- stage level — the pass manager's in-memory
+  :class:`repro.passes.cache.ArtifactCache`, keyed by chained pass
+  fingerprints, reuses live front-end artifacts (AST, CFG, renamed
+  program, schedule) within a process;
+- result level — this module's :class:`AllocationCache`, keyed by
+  :func:`job_key` over the *semantic* program fingerprint, persists
+  JSON-encoded storage results across processes and runs.
 
 Cached entries round-trip the :class:`~repro.core.strategies
 .StorageResult`'s allocation *including its placement history* (so
@@ -35,12 +47,7 @@ from ..core.strategies import StorageResult
 from ..ir.rename import RenamedProgram
 from ..liw.machine import MachineConfig
 from ..liw.schedule import Schedule
-
-
-def _canonical(payload: object) -> bytes:
-    return json.dumps(
-        payload, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
+from ..passes.fingerprint import canonical_bytes as _canonical
 
 
 def program_fingerprint(schedule: Schedule, renamed: RenamedProgram) -> str:

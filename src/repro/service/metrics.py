@@ -1,83 +1,13 @@
-"""Lightweight stage metrics for the compile/allocate pipeline.
+"""Compatibility shim: the stage-metrics protocol moved to
+:mod:`repro.passes.events` (a neutral module no layer cycles on).
 
-A :class:`Metrics` object is passed (optionally) through
-:func:`repro.pipeline.compile_source` and
-:func:`repro.core.strategies.run_strategy`; each stage appends a
-:class:`StageMetric` carrying its wall time and any size counters it
-cares to report (conflict-graph nodes/edges, atoms, copies created, ...).
-Counters shared across stages (cache hits, jobs compiled) live in the
-flat ``counters`` map.
-
-Everything is plain data: ``as_dict`` yields the JSON emitted by
-``python -m repro batch --json``.
+Import :class:`Metrics`/:class:`StageMetric` from there (or from
+``repro.service``, which re-exports them); this module remains only so
+existing ``repro.service.metrics`` imports keep working.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Iterator
+from ..passes.events import Metrics, StageMetric
 
-
-@dataclass(slots=True)
-class StageMetric:
-    """One pipeline stage's timing and size counters."""
-
-    name: str
-    wall_time: float = 0.0
-    counts: dict[str, int | float] = field(default_factory=dict)
-
-    def as_dict(self) -> dict[str, object]:
-        return {"name": self.name, "wall_time": self.wall_time, **self.counts}
-
-
-@dataclass(slots=True)
-class Metrics:
-    """Accumulates per-stage metrics and global counters."""
-
-    stages: list[StageMetric] = field(default_factory=list)
-    counters: dict[str, int | float] = field(default_factory=dict)
-
-    @contextmanager
-    def stage(self, name: str, **counts: int | float) -> Iterator[StageMetric]:
-        """Time a stage; the yielded record's ``counts`` may be filled
-        in by the body."""
-        record = StageMetric(name, counts=dict(counts))
-        t0 = time.perf_counter()
-        try:
-            yield record
-        finally:
-            record.wall_time = time.perf_counter() - t0
-            self.stages.append(record)
-
-    def add_stage(
-        self, name: str, wall_time: float, **counts: int | float
-    ) -> StageMetric:
-        record = StageMetric(name, wall_time, dict(counts))
-        self.stages.append(record)
-        return record
-
-    def incr(self, counter: str, amount: int | float = 1) -> None:
-        self.counters[counter] = self.counters.get(counter, 0) + amount
-
-    # -- queries ------------------------------------------------------------
-
-    def stage_time(self, name: str) -> float:
-        return sum(s.wall_time for s in self.stages if s.name == name)
-
-    @property
-    def total_time(self) -> float:
-        return sum(s.wall_time for s in self.stages)
-
-    def merge(self, other: "Metrics") -> None:
-        self.stages.extend(other.stages)
-        for key, value in other.counters.items():
-            self.incr(key, value)
-
-    def as_dict(self) -> dict[str, object]:
-        return {
-            "stages": [s.as_dict() for s in self.stages],
-            "counters": dict(self.counters),
-            "total_time": self.total_time,
-        }
+__all__ = ["Metrics", "StageMetric"]

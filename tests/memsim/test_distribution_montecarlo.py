@@ -1,0 +1,75 @@
+"""Monte-Carlo cross-check of the exact max-load DP.
+
+:func:`repro.memsim.distribution.max_load_distribution` computes p(i)
+— the probability that the busiest module serves i accesses — by exact
+dynamic programming over load multisets.  Here we re-derive the same
+distribution by seeded simulation of uniform module placement and
+require agreement within sampling tolerance."""
+
+import random
+
+import pytest
+
+from repro.memsim.distribution import (
+    expected_max_load,
+    max_load_distribution,
+    min_possible_max_load,
+)
+
+TRIALS = 20_000
+CASES = [
+    # (initial per-module loads, number of uniform random accesses)
+    ((0, 0), 2),
+    ((0, 0, 0, 0), 3),
+    ((1, 0, 0, 0), 2),
+    ((2, 1, 0, 0), 3),
+    ((0,) * 8, 4),
+    ((1, 1, 0, 0, 0, 0, 0, 0), 5),
+]
+
+
+def monte_carlo(initial_loads, n_random, rng, trials=TRIALS):
+    """Empirical max-load distribution from seeded placement trials."""
+    k = len(initial_loads)
+    counts: dict[int, int] = {}
+    for _ in range(trials):
+        loads = list(initial_loads)
+        for _ in range(n_random):
+            loads[rng.randrange(k)] += 1
+        top = max(loads)
+        counts[top] = counts.get(top, 0) + 1
+    return {load: c / trials for load, c in counts.items()}
+
+
+@pytest.mark.parametrize("initial,n", CASES)
+def test_dp_matches_monte_carlo(initial, n):
+    rng = random.Random(20260806)
+    exact = max_load_distribution(initial, n)
+    sampled = monte_carlo(initial, n, rng)
+
+    assert abs(sum(exact.values()) - 1.0) < 1e-12
+    for load in set(exact) | set(sampled):
+        assert exact.get(load, 0.0) == pytest.approx(
+            sampled.get(load, 0.0), abs=0.015
+        ), f"p({load}) diverges for loads={initial}, n={n}"
+
+    sampled_mean = sum(load * p for load, p in sampled.items())
+    assert expected_max_load(initial, n) == pytest.approx(
+        sampled_mean, abs=0.02
+    )
+
+
+@pytest.mark.parametrize("initial,n", CASES)
+def test_support_bounds(initial, n):
+    """Every outcome with nonzero probability is a feasible max load."""
+    exact = max_load_distribution(initial, n)
+    best = min_possible_max_load(initial, n)
+    worst = max(initial) + n
+    for load, p in exact.items():
+        assert p > 0.0
+        assert best <= load <= worst
+
+
+def test_zero_random_accesses_is_deterministic():
+    assert max_load_distribution((2, 1, 0), 0) == {2: 1.0}
+    assert expected_max_load((2, 1, 0), 0) == 2.0

@@ -1,0 +1,112 @@
+"""Stage-level cache reuse: a shared :class:`ArtifactCache` lets a
+second compilation of the same source skip every pass whose fingerprint
+matches — the headline case being "same program, different storage
+strategy" reusing the whole front end."""
+
+from repro.passes.artifacts import PipelineOptions
+from repro.passes.cache import ArtifactCache
+from repro.passes.events import CollectingTracer
+from repro.passes.registry import COMPILE_PASSES
+from repro.pipeline import compile_source, run_pipeline
+from repro.programs import all_programs
+from repro.service.batch import BatchCompiler, BatchJob
+from repro.service.cache import encode_storage_result
+
+SRC = all_programs()[0].source
+
+
+def _run(options: PipelineOptions, cache: ArtifactCache):
+    tracer = CollectingTracer()
+    run = run_pipeline(SRC, options, passes=COMPILE_PASSES,
+                       tracer=tracer, cache=cache)
+    return run, tracer
+
+
+def test_identical_rerun_hits_every_pass():
+    cache = ArtifactCache()
+    cold, _ = _run(PipelineOptions(), cache)
+    assert cold.cache_hits == 0
+    # unroll is disabled at factor 1 (skip): neither hit nor miss
+    assert cold.cache_misses == len(COMPILE_PASSES) - 1
+
+    warm, tracer = _run(PipelineOptions(), cache)
+    assert warm.cache_misses == 0
+    # unroll is disabled (skip), everything else served from cache
+    assert warm.cache_hits == len(COMPILE_PASSES) - 1
+    assert len(tracer.cache_hits()) == warm.cache_hits
+    assert encode_storage_result(warm.artifact("storage")) == \
+        encode_storage_result(cold.artifact("storage"))
+
+
+def test_changed_strategy_reuses_front_end():
+    cache = ArtifactCache()
+    _run(PipelineOptions(strategy="STOR1"), cache)
+
+    run, tracer = _run(PipelineOptions(strategy="STOR2"), cache)
+    hit_names = {e.name for e in tracer.events if e.status == "cache-hit"}
+    assert hit_names == {"parse", "sema", "lower", "simplify",
+                         "rename", "schedule"}
+    assert run.cache_misses == 1  # only allocate reran
+    assert run.artifact("storage").strategy == "STOR2"
+
+    # a third run flipping only the duplication method: same reuse
+    run3, tracer3 = _run(
+        PipelineOptions(strategy="STOR2", method="backtrack"), cache
+    )
+    assert run3.cache_misses == 1
+    assert len(tracer3.cache_hits()) == 6
+
+
+def test_changed_front_end_knob_invalidates_downstream():
+    cache = ArtifactCache()
+    _run(PipelineOptions(), cache)
+
+    run, tracer = _run(PipelineOptions(rename_mode="variable"), cache)
+    hits = {e.name for e in tracer.events if e.status == "cache-hit"}
+    assert hits == {"parse", "sema", "lower", "simplify"}
+    # rename, schedule, allocate all recompute
+    assert run.cache_misses == 3
+
+
+def test_cache_eviction_is_lru():
+    cache = ArtifactCache(max_entries=2)
+    cache.put("a", {"x": 1})
+    cache.put("b", {"x": 2})
+    assert cache.get("a") is not None  # refresh a
+    cache.put("c", {"x": 3})  # evicts b
+    assert "b" not in cache
+    assert cache.get("a") is not None
+    assert cache.get("c") is not None
+    stats = cache.stats()
+    assert stats["entries"] == 2
+    assert stats["hits"] == 3
+    assert stats["misses"] == 0
+
+
+def test_compile_source_shares_cache():
+    cache = ArtifactCache()
+    compile_source(SRC, cache=cache)
+    from repro.passes.events import Metrics
+
+    metrics = Metrics()
+    compile_source(SRC, metrics=metrics, cache=cache)
+    assert metrics.counters["pass_cache_hits"] == 6
+    assert metrics.counters.get("pass_cache_misses", 0) == 0
+
+
+def test_batch_compiler_reuses_front_end_across_strategies(tmp_path):
+    jobs = [
+        BatchJob("fft-stor1", SRC, strategy="STOR1"),
+        BatchJob("fft-stor2", SRC, strategy="STOR2"),
+        BatchJob("fft-stor3", SRC, strategy="STOR3"),
+    ]
+    compiler = BatchCompiler(workers=1)
+    report = compiler.run(jobs)
+    assert report.num_ok == 3
+    # first job compiles the 6 front-end passes; the next two reuse
+    # every front-end artifact and only run their storage strategy
+    assert report.artifact_stats["hits"] == 12
+    assert report.artifact_stats["misses"] == 6
+    for result in report.results[1:]:
+        assert result.metrics["counters"]["pass_cache_hits"] == 6
+    assert "frontend_cache" in report.as_dict()

@@ -1,0 +1,93 @@
+"""Golden equivalence: the pass-manager pipeline must reproduce the
+pre-refactor function-chain pipeline bit for bit.
+
+``legacy_compile`` below is a frozen copy of the old
+``repro.pipeline.compile_source`` body (direct function chaining, no
+pass manager).  For every registry program x {STOR1, STOR2, STOR3} x
+{backtrack, hitting_set} the two paths must produce identical
+``StorageResult`` encodings and identical simulation cycle counts.
+"""
+
+import pytest
+
+from repro.ir.builder import lower_ast
+from repro.ir.cfg import build_cfg
+from repro.ir.rename import rename
+from repro.ir.simplify import simplify_cfg
+from repro.ir.unroll import unroll_program
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from repro.liw.machine import MachineConfig
+from repro.liw.scheduler import schedule_program
+from repro.passes.artifacts import CompiledProgram
+from repro.pipeline import allocate_storage, compile_source, simulate
+from repro.programs import all_programs
+from repro.service.cache import encode_storage_result
+
+STRATEGIES = ["STOR1", "STOR2", "STOR3"]
+METHODS = ["backtrack", "hitting_set"]
+
+
+def legacy_compile(
+    source: str,
+    machine: MachineConfig | None = None,
+    unroll: int = 1,
+    constants_in_memory: bool = False,
+) -> CompiledProgram:
+    """The pre-pass-manager pipeline, stage by stage."""
+    machine = machine or MachineConfig()
+    tree = parse(source)
+    if unroll > 1:
+        tree = unroll_program(tree, unroll, False)
+    analyze(tree)
+    tac_prog = lower_ast(tree, constants_in_memory, 15)
+    cfg = build_cfg(tac_prog)
+    cfg = simplify_cfg(cfg)
+    renamed = rename(cfg, mode="web")
+    schedule = schedule_program(renamed, machine)
+    return CompiledProgram(tac_prog.name, cfg, renamed, schedule)
+
+
+@pytest.fixture(scope="module", params=[s.name for s in all_programs()])
+def program_pair(request):
+    spec = next(s for s in all_programs() if s.name == request.param)
+    legacy = legacy_compile(spec.source)
+    managed = compile_source(spec.source)
+    return spec, legacy, managed
+
+
+def test_schedules_identical(program_pair):
+    _, legacy, managed = program_pair
+    assert managed.name == legacy.name
+    assert managed.schedule.num_instructions == legacy.schedule.num_instructions
+    assert managed.schedule.num_operations == legacy.schedule.num_operations
+    assert managed.schedule.pretty() == legacy.schedule.pretty()
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_storage_and_cycles_identical(program_pair, strategy, method):
+    spec, legacy, managed = program_pair
+    storage_legacy = allocate_storage(legacy, strategy, method=method)
+    storage_managed = allocate_storage(managed, strategy, method=method)
+    assert encode_storage_result(storage_managed) == encode_storage_result(
+        storage_legacy
+    )
+    sim_legacy = simulate(legacy, storage_legacy.allocation, list(spec.inputs))
+    sim_managed = simulate(
+        managed, storage_managed.allocation, list(spec.inputs)
+    )
+    assert sim_managed.cycles == sim_legacy.cycles
+    assert sim_managed.outputs == sim_legacy.outputs
+    assert sim_managed.memory.stall_time == sim_legacy.memory.stall_time
+
+
+def test_paper_configuration_identical():
+    spec = all_programs()[0]
+    legacy = legacy_compile(spec.source, unroll=4, constants_in_memory=True)
+    managed = compile_source(
+        spec.source, unroll=4, constants_in_memory=True
+    )
+    assert managed.schedule.pretty() == legacy.schedule.pretty()
+    enc = lambda p: encode_storage_result(allocate_storage(p))  # noqa: E731
+    assert enc(managed) == enc(legacy)

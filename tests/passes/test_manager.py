@@ -1,0 +1,199 @@
+"""Unit tests for the pass-manager framework itself: typed artifacts,
+ordering checks, fingerprints, events, and the metrics adapter."""
+
+import pytest
+
+from repro.liw.machine import MachineConfig
+from repro.passes.artifacts import ArtifactStore, PipelineOptions
+from repro.passes.events import CollectingTracer, Metrics, MetricsTracer
+from repro.passes.manager import Pass, PassError, PassManager
+from repro.passes.registry import (
+    COMPILE_PASSES,
+    FRONTEND_PASSES,
+    FULL_PIPELINE,
+    get_pass,
+)
+from repro.pipeline import compile_source, run_pipeline
+
+SRC = """
+program p;
+var i, s: int; a: array[8] of int;
+begin
+  s := 0;
+  for i := 0 to 7 do begin a[i] := i * 3; s := s + a[i] end;
+  write(s)
+end.
+"""
+
+
+# -- artifact store ---------------------------------------------------------
+
+
+def test_store_rejects_unknown_artifact():
+    store = ArtifactStore()
+    with pytest.raises(KeyError, match="unknown artifact"):
+        store.set("nonsense", 1)
+
+
+def test_store_rejects_wrong_type():
+    store = ArtifactStore()
+    with pytest.raises(TypeError, match="must be str"):
+        store.set("source", 42)
+
+
+def test_store_missing_artifact_message():
+    store = ArtifactStore()
+    with pytest.raises(KeyError, match="has not been produced"):
+        store.get("schedule")
+
+
+# -- pass contract checks ---------------------------------------------------
+
+
+def test_missing_reads_raise_pass_error():
+    rename = get_pass("rename")
+    manager = PassManager([rename])
+    with pytest.raises(PassError, match="needs artifact"):
+        manager.run({"source": SRC})
+
+
+def test_unwritten_writes_raise_pass_error():
+    broken = Pass(name="broken", run=lambda ctx: None, writes=("cfg",))
+    manager = PassManager([get_pass("parse"), broken])
+    with pytest.raises(PassError, match="did not produce"):
+        manager.run({"source": SRC})
+
+
+def test_duplicate_pass_names_rejected():
+    with pytest.raises(ValueError, match="duplicate pass names"):
+        PassManager([get_pass("parse"), get_pass("parse")])
+
+
+# -- events and skip logic --------------------------------------------------
+
+
+def test_event_stream_order_and_skips():
+    tracer = CollectingTracer()
+    run_pipeline(SRC, PipelineOptions(), passes=FRONTEND_PASSES,
+                 tracer=tracer)
+    terminal = [(e.name, e.status) for e in tracer.completed()]
+    assert terminal == [
+        ("parse", "end"),
+        ("unroll", "skip"),
+        ("sema", "end"),
+        ("lower", "end"),
+        ("simplify", "end"),
+        ("rename", "end"),
+        ("schedule", "end"),
+    ]
+
+
+def test_unroll_and_simplify_run_when_enabled():
+    tracer = CollectingTracer()
+    run_pipeline(
+        SRC,
+        PipelineOptions(unroll=2, simplify=False),
+        passes=FRONTEND_PASSES,
+        tracer=tracer,
+    )
+    statuses = {e.name: e.status for e in tracer.completed()}
+    assert statuses["unroll"] == "end"
+    assert statuses["simplify"] == "skip"
+
+
+def test_schedule_counts_reported():
+    tracer = CollectingTracer()
+    run = run_pipeline(SRC, passes=FRONTEND_PASSES, tracer=tracer)
+    (event,) = tracer.by_name("schedule")[-1:]
+    schedule = run.artifact("schedule")
+    assert event.counts["instructions"] == schedule.num_instructions
+    assert event.counts["operations"] == schedule.num_operations
+
+
+def test_full_pipeline_simulates():
+    run = run_pipeline(SRC, passes=FULL_PIPELINE, inputs=[])
+    sim = run.artifact("simulation")
+    assert sim.cycles > 0
+    assert sim.outputs  # the program writes one value
+
+
+# -- fingerprints -----------------------------------------------------------
+
+
+def test_fingerprints_stable_across_runs():
+    r1 = run_pipeline(SRC, passes=COMPILE_PASSES)
+    r2 = run_pipeline(SRC, passes=COMPILE_PASSES)
+    assert r1.fingerprints == r2.fingerprints
+
+
+def test_fingerprints_depend_on_source_and_config():
+    base = run_pipeline(SRC, passes=COMPILE_PASSES).fingerprints
+    other_src = run_pipeline(SRC + " ", passes=COMPILE_PASSES).fingerprints
+    assert base["parse"] != other_src["parse"]
+
+    renamed = run_pipeline(
+        SRC, PipelineOptions(rename_mode="variable"), passes=COMPILE_PASSES
+    ).fingerprints
+    # upstream of rename: identical; rename and below: different
+    assert renamed["parse"] == base["parse"]
+    assert renamed["simplify"] == base["simplify"]
+    assert renamed["rename"] != base["rename"]
+    assert renamed["schedule"] != base["schedule"]
+
+    machine = run_pipeline(
+        SRC,
+        PipelineOptions(machine=MachineConfig(num_modules=4)),
+        passes=COMPILE_PASSES,
+    ).fingerprints
+    assert machine["rename"] == base["rename"]
+    assert machine["schedule"] != base["schedule"]
+
+    strat = run_pipeline(
+        SRC, PipelineOptions(strategy="STOR2"), passes=COMPILE_PASSES
+    ).fingerprints
+    assert strat["schedule"] == base["schedule"]
+    assert strat["allocate"] != base["allocate"]
+
+
+def test_disabled_pass_still_fingerprinted():
+    base = run_pipeline(SRC, passes=FRONTEND_PASSES).fingerprints
+    unrolled = run_pipeline(
+        SRC, PipelineOptions(unroll=2), passes=FRONTEND_PASSES
+    ).fingerprints
+    # unroll is skipped in `base` but its knob still feeds the chain
+    assert base["unroll"] != unrolled["unroll"]
+    assert base["schedule"] != unrolled["schedule"]
+
+
+# -- metrics adapter (legacy batch-report channel) --------------------------
+
+
+def test_metrics_stage_names_match_legacy_pipeline():
+    metrics = Metrics()
+    compile_source(SRC, metrics=metrics)
+    assert [s.name for s in metrics.stages] == [
+        "parse", "sema", "lower", "simplify", "rename", "schedule",
+    ]
+    assert all(s.wall_time >= 0.0 for s in metrics.stages)
+
+
+def test_metrics_records_unroll_and_counts():
+    metrics = Metrics()
+    compile_source(SRC, unroll=4, metrics=metrics)
+    names = [s.name for s in metrics.stages]
+    assert names[1] == "unroll"
+    by_name = {s.name: s for s in metrics.stages}
+    assert by_name["rename"].counts["values"] > 0
+    assert by_name["schedule"].counts["instructions"] > 0
+
+
+def test_metrics_tracer_marks_cache_hits():
+    metrics = Metrics()
+    tracer = MetricsTracer(metrics)
+    from repro.passes.events import PassEvent
+
+    tracer.emit(PassEvent("parse", "cache-hit"))
+    tracer.emit(PassEvent("parse", "skip"))
+    assert metrics.counters["pass_cache_hits"] == 1
+    assert metrics.stages[0].counts["cached"] == 1
+    assert len(metrics.stages) == 1  # skips are not stages

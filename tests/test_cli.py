@@ -39,6 +39,40 @@ def test_compile_show_schedule(program_file, capsys):
     assert "[" in out  # schedule listing
 
 
+def test_compile_trace(program_file, capsys):
+    assert main(["compile", program_file, "--trace"]) == 0
+    out = capsys.readouterr().out
+    for name in ("parse", "sema", "lower", "rename", "schedule",
+                 "allocate", "total"):
+        assert name in out
+    assert "ran" in out and "ms" in out
+    assert "skip" in out  # unroll disabled at factor 1
+
+
+def test_compile_trace_json(program_file, tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    assert main([
+        "compile", program_file, "--trace-json", str(trace_path),
+        "--strategy", "STOR2",
+    ]) == 0
+    events = json.loads(trace_path.read_text())
+    names = [e["pass"] for e in events]
+    assert "parse" in names and "allocate" in names
+    assert any(n.startswith("allocate.") for n in names)  # sub-stages
+    done = [e for e in events if e["status"] == "end"]
+    assert all("fingerprint" in e for e in done if "." not in e["pass"])
+
+
+def test_compile_pipeline_flags(program_file, capsys):
+    assert main([
+        "compile", program_file, "--no-simplify",
+        "--rename-mode", "variable", "--seed", "3",
+    ]) == 0
+    assert "storage" in capsys.readouterr().out
+
+
 def test_run_command(program_file, capsys):
     assert main(["run", program_file]) == 0
     captured = capsys.readouterr()
