@@ -21,6 +21,9 @@ class Allocation:
     #: (value, module) pairs in creation order — the audit trail used by
     #: tests that replay the paper's worked examples.
     history: list[tuple[int, int]] = field(default_factory=list)
+    #: module-occupancy bitmask per value, maintained alongside
+    #: ``_placement`` for the bitset kernels (bit m == copy in module m)
+    _mask: dict[int, int] = field(default_factory=dict)
 
     def _check_module(self, module: int) -> None:
         if not 0 <= module < self.k:
@@ -34,6 +37,7 @@ class Allocation:
         if value in self._placement:
             raise ValueError(f"value {value} already placed; use add_copy")
         self._placement[value] = {module}
+        self._mask[value] = 1 << module
         self.history.append((value, module))
 
     def add_copy(self, value: int, module: int) -> None:
@@ -43,6 +47,7 @@ class Allocation:
         if module in mods:
             raise ValueError(f"value {value} already has a copy in {module}")
         mods.add(module)
+        self._mask[value] = self._mask.get(value, 0) | (1 << module)
         self.history.append((value, module))
 
     # -- queries ------------------------------------------------------------
@@ -50,6 +55,11 @@ class Allocation:
     def modules(self, value: int) -> frozenset[int]:
         """Modules holding a copy of ``value`` (empty if unplaced)."""
         return frozenset(self._placement.get(value, ()))
+
+    def modules_mask(self, value: int) -> int:
+        """Modules holding a copy of ``value`` as a bitmask (0 if
+        unplaced) — the representation the bitset kernels consume."""
+        return self._mask.get(value, 0)
 
     def primary(self, value: int) -> int:
         """The first module a copy of ``value`` was placed in — where the
@@ -87,6 +97,7 @@ class Allocation:
     def copy(self) -> "Allocation":
         dup = Allocation(self.k)
         dup._placement = {v: set(m) for v, m in self._placement.items()}
+        dup._mask = dict(self._mask)
         dup.history = list(self.history)
         return dup
 

@@ -26,10 +26,11 @@ from typing import Iterable, Sequence
 
 from .allocation import Allocation
 from .backtrack import backtrack_duplication
+from .bitset import sdr_exists_masks
 from .coloring import ColoringResult, color_graph
 from .conflict_graph import ConflictGraph
 from .duplication import hitting_set_duplication
-from .verify import conflicting_instructions, instruction_conflict_free
+from .verify import conflicting_instructions
 
 
 @dataclass(slots=True)
@@ -74,23 +75,30 @@ def _place_pinned(
     """Single-copy placement of a non-duplicable value removed during
     colouring: pick the module leaving the least conflict *weight*
     (execution count when profiled, instruction count otherwise) among
-    the instructions that use the value."""
+    the instructions that use the value.
+
+    Each trial module is evaluated on the allocation's occupancy masks
+    with the value's mask augmented in place — no trial-allocation
+    copies."""
     k = alloc.k
     involved = [
         (ops, weights[i] if weights is not None else 1)
         for i, ops in enumerate(operand_sets)
         if value in ops
     ]
+    base = alloc.modules_mask(value)
     best_module, best_conflicts = 0, None
     for m in range(k):
-        trial = alloc.copy()
-        trial.add_copy(value, m)
-        bad = sum(
-            w
-            for ops, w in involved
-            if all(trial.modules(v) for v in ops)
-            and not instruction_conflict_free(ops, trial)
-        )
+        aug = base | (1 << m)
+        bad = 0
+        for ops, w in involved:
+            masks = [
+                aug if v == value else alloc.modules_mask(v) for v in ops
+            ]
+            # Instructions with unplaced operands impose no constraint
+            # yet (they are re-checked once the allocation is total).
+            if all(masks) and not sdr_exists_masks(masks):
+                bad += w
         if best_conflicts is None or bad < best_conflicts:
             best_module, best_conflicts = m, bad
     alloc.add_copy(value, best_module)

@@ -27,71 +27,107 @@ DESIGN.md.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
+from .bitset import iter_bits
 from .conflict_graph import ConflictGraph
 
 #: Components larger than this are not decomposed further by default.
 DEFAULT_MAX_NODES = 800
 
 
+def _mcs_m_masks(graph: ConflictGraph) -> tuple[list[int], list[int]]:
+    """MCS-M on the bitmask kernel: triangulated adjacency rows plus the
+    numbering order, both in kernel bit space.
+
+    MCS-M numbers vertices n..1, each step picking the unnumbered vertex
+    of maximum weight (ties: smallest id) and reaching every unnumbered
+    ``u`` connected to it by a path whose internal vertices are
+    unnumbered with weight strictly below ``weight[u]`` — equivalently,
+    ``u`` adjacent to the connected component of the chosen vertex in
+    the subgraph induced on unnumbered vertices lighter than ``u``.
+    Processing the distinct weights in ascending order lets one mask
+    flood grow monotonically: each weight level first admits all lighter
+    vertices into the flood, then collects its own vertices adjacent to
+    it.  This is the same reached set the textbook minimax-path
+    (Dijkstra-style) search computes, found in O(n) big-int operations
+    per step instead of a heap walk over every edge.
+
+    Returns ``(h_rows, numbering)``: per-bit adjacency masks of the
+    triangulation H (supersets of the kernel's rows) and the bits in
+    numbering order (elimination order is its reverse).
+    """
+    kern = graph.kernel()
+    adj = kern.adj
+    n = len(kern.index.ids)
+    weight = [0] * n
+    h_rows = list(adj)  # fill edges are OR'ed in below
+    numbering: list[int] = []  # bits in numbering order (n, n-1, ..., 1)
+    # Unnumbered vertices bucketed by weight; bits move up one bucket
+    # when reached, out when numbered.  Doubles as the selection
+    # structure: the winner is the lowest bit of the heaviest bucket
+    # (bits are assigned in ascending id order, so min-bit == min-id).
+    by_weight: dict[int, int] = {0: kern.index.universe_mask} if n else {}
+
+    for _ in range(n):
+        while True:
+            w_max = max(by_weight)
+            bucket = by_weight[w_max]
+            if bucket:
+                break
+            del by_weight[w_max]
+        s_bit = bucket & -bucket
+        s = s_bit.bit_length() - 1
+        by_weight[w_max] = bucket ^ s_bit
+        component = s_bit
+        nbrs = adj[s]  # union of adjacency rows over the component
+        allowed = 0  # unnumbered vertices lighter than the current level
+        reached = 0
+        for w in sorted(by_weight):
+            bucket = by_weight[w]
+            if not bucket:
+                continue
+            while True:
+                add = nbrs & allowed & ~component
+                if not add:
+                    break
+                component |= add
+                while add:
+                    low = add & -add
+                    add ^= low
+                    nbrs |= adj[low.bit_length() - 1]
+            reached |= bucket & nbrs
+            allowed |= bucket
+        rest = reached
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            j = low.bit_length() - 1
+            w = weight[j] = weight[j] + 1
+            by_weight[w - 1] ^= low
+            by_weight[w] = by_weight.get(w, 0) | low
+            h_rows[j] |= s_bit
+        h_rows[s] |= reached
+        numbering.append(s)
+
+    return h_rows, numbering
+
+
 def mcs_m(graph: ConflictGraph) -> tuple[dict[int, set[int]], list[int]]:
-    """MCS-M minimal triangulation.
+    """MCS-M minimal triangulation (see :func:`_mcs_m_masks`).
 
     Returns ``(fill_adjacency, order)`` where ``fill_adjacency`` is the
     adjacency of the triangulated graph H (a superset of G's) and
     ``order`` lists vertices in elimination order (order[0] eliminated
-    first).  MCS-M numbers vertices n..1; elimination order is the
-    reverse of numbering order.
+    first).
     """
-    vertices = sorted(graph.nodes)
-    weight: dict[int, int] = {v: 0 for v in vertices}
-    numbered: set[int] = set()
-    h_adj: dict[int, set[int]] = {v: set(graph.adj[v]) for v in vertices}
-    numbering: list[int] = []  # order of numbering (n, n-1, ..., 1)
-
-    # Lazy max-heap over (weight, -vertex); stale entries are skipped.
-    heap: list[tuple[int, int]] = [(0, v) for v in vertices]
-    heapq.heapify(heap)
-
-    for _ in range(len(vertices)):
-        while True:
-            neg_w, v = heapq.heappop(heap)
-            if v not in numbered and -neg_w == weight[v]:
-                break
-        # Find all unnumbered u reachable from v via paths whose internal
-        # vertices are unnumbered with weight strictly below weight[u]:
-        # compute minimax[u] = min over paths of max internal weight via
-        # a Dijkstra-like search, then test minimax[u] < weight[u].
-        minimax: dict[int, int] = {}
-        search: list[tuple[int, int]] = []
-        for u in graph.adj[v]:
-            if u not in numbered:
-                minimax[u] = -1  # direct edge: no internal vertices
-                search.append((-1, u))
-        heapq.heapify(search)
-        while search:
-            d, u = heapq.heappop(search)
-            if d > minimax.get(u, 1 << 60):
-                continue
-            through = max(d, weight[u])
-            for w in graph.adj[u]:
-                if w in numbered or w == v:
-                    continue
-                if through < minimax.get(w, 1 << 60):
-                    minimax[w] = through
-                    heapq.heappush(search, (through, w))
-        reached = {u for u, d in minimax.items() if d < weight[u]}
-        for u in reached:
-            weight[u] += 1
-            heapq.heappush(heap, (-weight[u], u))
-            h_adj[v].add(u)
-            h_adj[u].add(v)
-        numbered.add(v)
-        numbering.append(v)
-
-    elimination_order = list(reversed(numbering))
+    h_rows, numbering = _mcs_m_masks(graph)
+    ids = graph.kernel().index.ids
+    h_adj = {
+        ids[i]: {ids[j] for j in iter_bits(h_rows[i])}
+        for i in range(len(ids))
+    }
+    elimination_order = [ids[b] for b in reversed(numbering)]
     return h_adj, elimination_order
 
 
@@ -103,62 +139,61 @@ class AtomDecomposition:
     separators: list[frozenset[int]]
 
 
-def _component_of(
-    adj: dict[int, set[int]],
-    start: int,
-    universe: set[int],
-    excluded: frozenset[int],
-) -> set[int]:
-    comp: set[int] = set()
-    stack = [start]
-    while stack:
-        v = stack.pop()
-        if v in comp or v in excluded or v not in universe:
-            continue
-        comp.add(v)
-        stack.extend(adj[v])
-    return comp
-
-
 def _decompose_component(
     graph: ConflictGraph,
     component: set[int],
     out_atoms: list[set[int]],
     out_separators: list[frozenset[int]],
 ) -> None:
-    """Split one connected component using a single MCS-M triangulation."""
-    sub = graph.subgraph(component)
-    h_adj, order = mcs_m(sub)
-    position = {v: i for i, v in enumerate(order)}
+    """Split one connected component using a single MCS-M triangulation.
 
-    work: list[set[int]] = [set(component)]
+    Runs entirely in the component subgraph's kernel bit space: ``madj``
+    is one AND of a triangulation row against a suffix-of-elimination
+    mask, clique-ness is one adjacency-row comparison per member, and
+    the component search floods adjacency masks instead of walking
+    ``set`` neighbourhoods.
+    """
+    sub = graph.subgraph(component)
+    h_rows, numbering = _mcs_m_masks(sub)
+    kern = sub.kernel()
+    ids = kern.index.ids
+    n = len(ids)
+
+    elim = list(reversed(numbering))  # bits in elimination order
+    # suffix[i]: bits eliminated strictly after position i
+    suffix = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix[i] = suffix[i + 1] | (1 << elim[i])
+
+    work: list[int] = [kern.index.universe_mask]
     while work:
-        piece = work.pop()
-        if len(piece) <= 2:
-            out_atoms.append(piece)
+        piece_mask = work.pop()
+        piece_size = piece_mask.bit_count()
+        if piece_size <= 2:
+            out_atoms.append(set(kern.index.ids_of(piece_mask)))
             continue
         split = None
-        for v in sorted(piece, key=position.__getitem__):
-            madj = frozenset(
-                u
-                for u in h_adj[v]
-                if u in piece and position[u] > position[v]
-            )
-            if not madj or len(madj) >= len(piece) - 1:
+        for i in range(n):
+            v_bit = elim[i]
+            if not (piece_mask >> v_bit) & 1:
                 continue
-            if not graph.is_clique(madj):
+            madj_mask = h_rows[v_bit] & suffix[i + 1] & piece_mask
+            madj_size = madj_mask.bit_count()
+            if not madj_mask or madj_size >= piece_size - 1:
                 continue
-            comp = _component_of(graph.adj, v, piece, madj)
-            if len(comp) + len(madj) < len(piece):
-                split = (madj, comp)
+            if not kern.is_clique_mask(madj_mask):
+                continue
+            comp_mask = kern.component_mask(v_bit, piece_mask, madj_mask)
+            if comp_mask.bit_count() + madj_size < piece_size:
+                split = (madj_mask, comp_mask)
                 break
         if split is None:
-            out_atoms.append(piece)
+            out_atoms.append(set(kern.index.ids_of(piece_mask)))
             continue
-        madj, comp = split
-        out_separators.append(madj)
-        work.append(comp | madj)
-        work.append(piece - comp)
+        madj_mask, comp_mask = split
+        out_separators.append(frozenset(kern.index.ids_of(madj_mask)))
+        work.append(comp_mask | madj_mask)
+        work.append(piece_mask & ~comp_mask)
 
 
 def decompose_atoms(

@@ -9,6 +9,19 @@ assignment of its duplicable operands to modules that makes the
 instruction conflict free, preferring assignments that reuse existing
 copies; the cheapest (fewest new copies) wins, ties resolved per
 ``tie_break``.
+
+The enumeration runs on module bitmasks: the modules ruled out by the
+instruction's fixed single-copy operands and by earlier choices
+propagate down the search as one *forbidden mask*, infeasible branches
+(fewer free modules than operands left) are cut by dominance pruning,
+and whole enumerations are memoised on ``(existing-copy masks,
+forbidden mask)`` — two instructions whose duplicable operands hold
+copies in the same modules under the same forbidden set share one
+search.  Pruning of cost-dominated branches never drops a cheapest
+placement (a minimal-cost placement's every prefix is within the
+running bound), so the chosen placements — and the ``rng`` draws that
+break ties — are identical to the exhaustive reference
+(:func:`repro.core.reference.backtrack_duplication`).
 """
 
 from __future__ import annotations
@@ -18,7 +31,10 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .allocation import Allocation
+from .bitset import COUNTERS, iter_bits
 from .verify import sdr_exists
+
+_Placements = list[tuple[int, tuple[int, ...]]]
 
 
 @dataclass(slots=True)
@@ -33,38 +49,56 @@ class BacktrackStats:
 
 
 def _enumerate_placements(
-    operands: Sequence[int],
-    forbidden: frozenset[int],
-    alloc: Allocation,
-) -> list[tuple[int, tuple[int, ...]]]:
-    """All conflict-free module assignments for ``operands``.
+    existing_masks: Sequence[int],
+    forbidden_mask: int,
+    k: int,
+    prune_cost: bool,
+) -> _Placements:
+    """All conflict-free module assignments for operands whose existing
+    copies sit in ``existing_masks``.
 
-    Returns ``(new_copy_count, modules)`` pairs; ``modules[i]`` hosts
-    ``operands[i]``.  Assigned modules must be pairwise distinct and
-    avoid ``forbidden`` (the modules of the instruction's fixed,
-    single-copy operands).
+    Returns ``(new_copy_count, modules)`` pairs in the reference
+    enumeration order (reuse-first, then ascending module index at every
+    level).  Assigned modules are pairwise distinct and avoid
+    ``forbidden_mask``.  With ``prune_cost``, branches whose partial
+    cost already exceeds the best complete cost found so far are cut —
+    every minimal-cost placement still appears, in unchanged order.
     """
-    k = alloc.k
-    results: list[tuple[int, tuple[int, ...]]] = []
+    all_modules = (1 << k) - 1
+    results: _Placements = []
     chosen: list[int] = []
+    total = len(existing_masks)
+    best_cost = total + 1  # upper bound: every operand needs a new copy
 
-    def backtrack(i: int, cost: int) -> None:
-        if i == len(operands):
+    def backtrack(i: int, cost: int, used_mask: int) -> None:
+        nonlocal best_cost
+        if i == total:
             results.append((cost, tuple(chosen)))
+            if cost < best_cost:
+                best_cost = cost
             return
-        v = operands[i]
-        existing = alloc.modules(v)
+        avail = ~(forbidden_mask | used_mask) & all_modules
+        # Dominance: fewer free modules than operands left — no
+        # completion exists down this branch.
+        if avail.bit_count() < total - i:
+            COUNTERS.branches_pruned += 1
+            return
+        existing = existing_masks[i]
         # Cheapest-first: existing copies cost 0, new modules cost 1.
-        candidates = sorted(
-            (m for m in range(k) if m not in forbidden and m not in chosen),
-            key=lambda m: (m not in existing, m),
-        )
-        for m in candidates:
+        for m in iter_bits(avail & existing):
             chosen.append(m)
-            backtrack(i + 1, cost + (m not in existing))
+            backtrack(i + 1, cost, used_mask | (1 << m))
+            chosen.pop()
+        if prune_cost and cost + 1 > best_cost:
+            COUNTERS.branches_pruned += 1
+            return
+        for m in iter_bits(avail & ~existing):
+            chosen.append(m)
+            backtrack(i + 1, cost + 1, used_mask | (1 << m))
             chosen.pop()
 
-    backtrack(0, 0)
+    backtrack(0, 0, 0)
+    COUNTERS.placements_enumerated += len(results)
     return results
 
 
@@ -81,29 +115,51 @@ def backtrack_duplication(
     rng = rng or random.Random(0)
     stats = BacktrackStats()
     unassigned_set = set(unassigned)
+    k = alloc.k
 
     # Fig. 6: S_i = instructions with i operands in V_unassigned.
     relevant = [ops for ops in operand_sets if ops & unassigned_set]
     relevant.sort(key=lambda ops: (len(ops & unassigned_set), sorted(ops)))
 
+    # Memoised enumerations: two instructions with the same per-operand
+    # existing-copy masks and forbidden mask share one search.  Keys
+    # embed the masks themselves, so copies added for one instruction
+    # simply miss instead of serving stale results.
+    memo: dict[tuple[tuple[int, ...], int, bool], _Placements] = {}
+
     for ops in relevant:
         todo = sorted(ops & unassigned_set)
         fixed = ops - unassigned_set
-        forbidden: set[int] = set()
+        forbidden_mask = 0
+        multi_fixed = False
         for v in fixed:
-            mods = alloc.modules(v)
-            if not mods:
+            mask = alloc.modules_mask(v)
+            if not mask:
                 raise ValueError(f"fixed operand {v} is unplaced")
-            if len(mods) == 1:
-                forbidden.add(next(iter(mods)))
-            # A fixed operand that itself has copies (possible after
-            # STOR phases) can dodge; leave its modules available.
-        placements = _enumerate_placements(todo, frozenset(forbidden), alloc)
-        # With multi-copy fixed operands (STOR2/3 later phases) pairwise
-        # distinctness is not sufficient; keep only placements for which
-        # the whole instruction admits distinct representatives.
-        multi_fixed = [alloc.modules(v) for v in fixed if alloc.copy_count(v) > 1]
+            if mask.bit_count() == 1:
+                forbidden_mask |= mask
+            else:
+                # A fixed operand that itself has copies (possible after
+                # STOR phases) can dodge; leave its modules available.
+                multi_fixed = True
+        existing_masks = tuple(alloc.modules_mask(v) for v in todo)
+        # With multi-copy fixed operands the SDR post-filter may discard
+        # cheap placements, so cost pruning must stay off there.
+        prune_cost = not multi_fixed
+        key = (existing_masks, forbidden_mask, prune_cost)
+        placements = memo.get(key)
+        if placements is None:
+            placements = _enumerate_placements(
+                existing_masks, forbidden_mask, k, prune_cost
+            )
+            memo[key] = placements
+        else:
+            COUNTERS.memo_hits += 1
         if multi_fixed:
+            # With multi-copy fixed operands (STOR2/3 later phases)
+            # pairwise distinctness is not sufficient; keep only
+            # placements for which the whole instruction admits
+            # distinct representatives.
             fixed_sets = [alloc.modules(v) for v in fixed]
             placements = [
                 (c, p)
@@ -132,7 +188,7 @@ def backtrack_duplication(
         else:
             raise ValueError(f"unknown tie_break {tie_break!r}")
         for v, m in zip(todo, modules):
-            if m not in alloc.modules(v):
+            if not (alloc.modules_mask(v) >> m) & 1:
                 alloc.add_copy(v, m)
                 stats.copies_created += 1
 

@@ -23,10 +23,10 @@ colouring proper without a permutation step.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from .atoms import decompose_atoms
+from .bitset import iter_bits
 from .conflict_graph import ConflictGraph
 
 
@@ -76,16 +76,6 @@ class ColoringResult:
         self.trace.extend(other.trace)
 
 
-def _edge_weights(graph: ConflictGraph, k: int) -> dict[tuple[int, int], int]:
-    """Directional weights wt(a -> b) per Fig. 4."""
-    wt: dict[tuple[int, int], int] = {}
-    for u, v in graph.edges():
-        c = graph.conflict_count(u, v)
-        wt[(u, v)] = 0 if graph.degree(u) < k else c
-        wt[(v, u)] = 0 if graph.degree(v) < k else c
-    return wt
-
-
 def color_atom(
     graph: ConflictGraph,
     k: int,
@@ -108,88 +98,112 @@ def color_atom(
     (non-duplicable values: their removal cannot be repaired by copies).
     This is an extension over Fig. 4 — the paper's values are all
     single-definition — ordered by urgency within each class.
+
+    Implementation runs on the graph's bitmask kernel: "module legal
+    for node" is one AND of the node's accumulated neighbour-colour
+    mask against the k-module mask, and the directional edge weights
+    ``wt(a -> b) = 0 if d(a) < k else conf(a, b)`` are evaluated
+    lazily from instruction-membership masks instead of being
+    materialised as a pair-keyed dict.
     """
     result = ColoringResult(k)
     preassigned = preassigned or {}
     prefer = prefer or set()
-    nodes = sorted(graph.nodes)
-    if not nodes:
+    if not graph.nodes:
         return result
 
-    wt = _edge_weights(graph, k)
+    kern = graph.kernel()
+    index = kern.index
+    ids = index.ids
+    n = len(ids)
+    adj = kern.adj
+    all_modules = (1 << k) - 1
+
+    # wt(a -> b) is 0 for every b when d(a) < k; cache the per-source
+    # gate as one mask lookup.
+    emits_weight = [kern.degree(i) >= k for i in range(n)]
 
     # Incremental state.
     if module_use is None:
         module_use = [0] * k  # how many nodes use each module (least_used)
-    incoming: dict[int, int] = {v: 0 for v in nodes}  # Σ wt(assigned -> v)
-    neighbor_colors: dict[int, set[int]] = {v: set() for v in nodes}
-    rest = set(nodes)
+    incoming = [0] * n          # Σ wt(assigned -> v)
+    neighbor_colors = [0] * n   # mask of colours among assigned neighbours
+    rest_mask = (1 << n) - 1
+    prefer_mask = index.mask_of(v for v in prefer if v in index)
 
-    def assign(node: int, module: int, action: str, urgency_num: int) -> None:
-        result.assignment[node] = module
+    def assign(i: int, module: int, action: str, urgency_num: int) -> None:
+        result.assignment[ids[i]] = module
         module_use[module] += 1
         result.trace.append(
-            ColoringStep(node, urgency_num, k - len(neighbor_colors[node]),
-                         action, module)
+            ColoringStep(ids[i], urgency_num,
+                         k - neighbor_colors[i].bit_count(), action, module)
         )
-        for nb in graph.adj[node]:
-            if nb in rest:
-                incoming[nb] += wt[(node, nb)]
-                neighbor_colors[nb].add(module)
+        module_bit = 1 << module
+        pending = adj[i] & rest_mask
+        if emits_weight[i]:
+            for j in iter_bits(pending):
+                incoming[j] += kern.conf(i, j)
+                neighbor_colors[j] |= module_bit
+        else:
+            for j in iter_bits(pending):
+                neighbor_colors[j] |= module_bit
 
     for node, module in preassigned.items():
-        if node in rest:
-            rest.discard(node)
-            assign(node, module, "preassigned", 0)
+        i = index.bit.get(node)
+        if i is not None and (rest_mask >> i) & 1:
+            rest_mask &= ~(1 << i)
+            assign(i, module, "preassigned", 0)
 
     if not preassigned:
         # Fig. 4: n_first = argmax S_n, assigned M1 ('least_used' mode
-        # picks the globally least-used module instead).
-        s_val = {
-            v: sum(wt[(v, u)] for u in graph.adj[v]) for v in nodes
-        }
-        pool = sorted(prefer & rest) or nodes
-        first = max(pool, key=lambda v: (s_val[v], -v))
-        rest.discard(first)
+        # picks the globally least-used module instead).  S_n sums the
+        # outgoing weights, i.e. Σ conf(n, u) when d(n) >= k, which the
+        # kernel folds per instruction rather than per edge.
+        s_val = [
+            kern.strength(i) if emits_weight[i] else 0 for i in range(n)
+        ]
+        pool_mask = prefer_mask & rest_mask or rest_mask
+        first = -1
+        first_val = -1
+        for i in iter_bits(pool_mask):
+            if s_val[i] > first_val:
+                first, first_val = i, s_val[i]
+        rest_mask &= ~(1 << first)
         if module_choice == "least_used":
             first_module = min(range(k), key=lambda m: (module_use[m], m))
         else:
             first_module = 0
-        assign(first, first_module, "first", s_val[first])
+        assign(first, first_module, "first", first_val)
 
-    while rest:
+    while rest_mask:
         # Pick max urgency  U = incoming / K  (K = 0 -> infinite),
         # preferred (non-duplicable) nodes strictly first.
-        pool = sorted(prefer & rest) or sorted(rest)
-        best: int | None = None
+        pool_mask = prefer_mask & rest_mask or rest_mask
+        best = -1
         best_num, best_den = -1, 1  # urgency as a fraction num/den
-        best_inf = False
-        for v in pool:
-            k_v = k - len(neighbor_colors[v])
+        for i in iter_bits(pool_mask):
+            k_v = k - (neighbor_colors[i] & all_modules).bit_count()
             if k_v == 0:
-                if not best_inf or best is None:
-                    best, best_inf = v, True
-                    break  # smallest-id infinite-urgency node wins
-            elif not best_inf:
-                num = incoming[v]
-                # num/k_v > best_num/best_den  <=>  num*best_den > best_num*k_v
-                if best is None or num * best_den > best_num * k_v:
-                    best, best_num, best_den = v, num, k_v
-        assert best is not None
-        rest.discard(best)
+                best = i
+                break  # smallest-id infinite-urgency node wins
+            num = incoming[i]
+            # num/k_v > best_num/best_den  <=>  num*best_den > best_num*k_v
+            if best < 0 or num * best_den > best_num * k_v:
+                best, best_num, best_den = i, num, k_v
+        assert best >= 0
+        rest_mask &= ~(1 << best)
 
-        k_best = k - len(neighbor_colors[best])
-        if k_best == 0:
-            result.unassigned.append(best)
+        free = ~neighbor_colors[best] & all_modules
+        if not free:
+            result.unassigned.append(ids[best])
             result.trace.append(
-                ColoringStep(best, incoming[best], 0, "removed", None)
+                ColoringStep(ids[best], incoming[best], 0, "removed", None)
             )
             continue
-        available = [m for m in range(k) if m not in neighbor_colors[best]]
         if module_choice == "least_used":
-            module = min(available, key=lambda m: (module_use[m], m))
+            module = min(iter_bits(free), key=lambda m: (module_use[m], m))
         elif module_choice == "first":
-            module = available[0]
+            module = (free & -free).bit_length() - 1
         else:
             raise ValueError(f"unknown module_choice {module_choice!r}")
         assign(best, module, "assigned", incoming[best])

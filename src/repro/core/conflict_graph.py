@@ -1,30 +1,52 @@
-"""The access conflict graph (paper §2).
+"""The access conflict graph (paper §2), on bitmask internals.
 
 Nodes are data values; an edge joins two values that appear as operands
 of the same (long) instruction; ``conf(u, v)`` counts in how many
 instructions the pair co-occurs — the edge weight base used by the
 colouring heuristic of Fig. 4.
+
+Construction no longer hashes every operand pair into a tuple-keyed
+dict: an instruction is recorded in O(p) by OR-ing its operand mask
+into per-node state, and ``conf(u, v)`` is recovered on demand as a
+mask intersection over the nodes' instruction-membership masks (see
+:class:`repro.core.bitset.GraphKernel`).  The classic ``adj`` /
+``conf`` dictionaries remain available as lazily materialised views
+for the cold consumers (atom triangulation, exact solvers, tests);
+the hot paths read the :meth:`kernel` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Iterator
+
+from .bitset import DenseIndex, GraphKernel, iter_bits
 
 
 def _edge(u: int, v: int) -> tuple[int, int]:
     return (u, v) if u < v else (v, u)
 
 
-@dataclass(slots=True)
 class ConflictGraph:
     """Undirected conflict graph with co-occurrence counts."""
 
-    nodes: set[int] = field(default_factory=set)
-    adj: dict[int, set[int]] = field(default_factory=dict)
-    conf: dict[tuple[int, int], int] = field(default_factory=dict)
-    #: the operand sets the graph was built from, in order
-    instructions: list[frozenset[int]] = field(default_factory=list)
+    __slots__ = (
+        "nodes", "instructions", "_edge_ops", "_edge_weights",
+        "_kernel", "_adj_view", "_conf_view", "_edges_cache",
+    )
+
+    def __init__(self) -> None:
+        #: the graph's vertex set (data value ids)
+        self.nodes: set[int] = set()
+        #: the operand sets the graph was built from, in order
+        self.instructions: list[frozenset[int]] = []
+        # Edge-bearing instructions (>= 2 operands, weight > 0) feeding
+        # adjacency and conf counts.
+        self._edge_ops: list[frozenset[int]] = []
+        self._edge_weights: list[int] = []
+        self._kernel: GraphKernel | None = None
+        self._adj_view: dict[int, set[int]] | None = None
+        self._conf_view: dict[tuple[int, int], int] | None = None
+        self._edges_cache: list[tuple[int, int]] | None = None
 
     # -- construction -----------------------------------------------------
 
@@ -47,10 +69,16 @@ class ConflictGraph:
                 graph.add_instruction(operands, w)
         return graph
 
+    def _invalidate(self) -> None:
+        self._kernel = None
+        self._adj_view = None
+        self._conf_view = None
+        self._edges_cache = None
+
     def add_node(self, v: int) -> None:
         if v not in self.nodes:
             self.nodes.add(v)
-            self.adj[v] = set()
+            self._invalidate()
 
     def add_instruction(self, operands: Iterable[int], weight: int = 1) -> None:
         """Record one instruction's operand set (pairwise conflicts),
@@ -59,47 +87,85 @@ class ConflictGraph:
             raise ValueError("weight must be non-negative")
         ops = frozenset(operands)
         self.instructions.append(ops)
-        for v in ops:
-            self.add_node(v)
-        if weight == 0:
-            return
-        ops_sorted = sorted(ops)
-        for i, u in enumerate(ops_sorted):
-            for v in ops_sorted[i + 1 :]:
-                self.adj[u].add(v)
-                self.adj[v].add(u)
-                key = _edge(u, v)
-                self.conf[key] = self.conf.get(key, 0) + weight
+        self.nodes |= ops
+        if weight > 0 and len(ops) > 1:
+            self._edge_ops.append(ops)
+            self._edge_weights.append(weight)
+        self._invalidate()
+
+    # -- kernel and views ---------------------------------------------------
+
+    def kernel(self) -> GraphKernel:
+        """The graph's bitmask view (dense numbering, adjacency rows,
+        membership masks); cached until the next mutation."""
+        if self._kernel is None:
+            self._kernel = GraphKernel(
+                DenseIndex(self.nodes), self._edge_ops, self._edge_weights
+            )
+        return self._kernel
+
+    @property
+    def adj(self) -> dict[int, set[int]]:
+        """Adjacency as ``dict[node, set[neighbour]]`` — a materialised
+        view for cold consumers; hot paths use :meth:`kernel` rows."""
+        if self._adj_view is None:
+            kern = self.kernel()
+            ids = kern.index.ids
+            self._adj_view = {
+                ids[i]: {ids[j] for j in iter_bits(kern.adj[i])}
+                for i in range(len(ids))
+            }
+        return self._adj_view
+
+    @property
+    def conf(self) -> dict[tuple[int, int], int]:
+        """Pairwise co-occurrence counts as a materialised dict view."""
+        if self._conf_view is None:
+            counts: dict[tuple[int, int], int] = {}
+            for ops, w in zip(self._edge_ops, self._edge_weights):
+                members = sorted(ops)
+                for i, u in enumerate(members):
+                    for v in members[i + 1:]:
+                        key = (u, v)
+                        counts[key] = counts.get(key, 0) + w
+            self._conf_view = counts
+        return self._conf_view
 
     # -- queries ------------------------------------------------------------
 
     def degree(self, v: int) -> int:
-        return len(self.adj[v])
+        kern = self.kernel()
+        return kern.degree(kern.index.bit[v])
 
     def neighbors(self, v: int) -> set[int]:
         return self.adj[v]
 
     def conflict_count(self, u: int, v: int) -> int:
         """conf(u, v): number of instructions using both u and v."""
-        return self.conf.get(_edge(u, v), 0)
+        kern = self.kernel()
+        bit = kern.index.bit
+        ui, vi = bit.get(u), bit.get(v)
+        if ui is None or vi is None:
+            return 0
+        return kern.conf(ui, vi)
 
     def has_edge(self, u: int, v: int) -> bool:
-        return _edge(u, v) in self.conf
+        return self.conflict_count(u, v) > 0
 
     def edges(self) -> Iterator[tuple[int, int]]:
-        return iter(self.conf.keys())
+        if self._edges_cache is None:
+            self._edges_cache = self.kernel().edge_pairs()
+        return iter(self._edges_cache)
 
     @property
     def num_edges(self) -> int:
-        return len(self.conf)
+        if self._edges_cache is None:
+            self._edges_cache = self.kernel().edge_pairs()
+        return len(self._edges_cache)
 
     def is_clique(self, vertices: Iterable[int]) -> bool:
-        vs = list(vertices)
-        for i, u in enumerate(vs):
-            for v in vs[i + 1 :]:
-                if v not in self.adj[u]:
-                    return False
-        return True
+        kern = self.kernel()
+        return kern.is_clique_mask(kern.index.mask_of(vertices))
 
     def subgraph(
         self, vertices: Iterable[int], with_instructions: bool = False
@@ -110,38 +176,41 @@ class ConflictGraph:
         adjacency and counts."""
         keep = {v for v in vertices if v in self.nodes}
         sub = ConflictGraph()
-        for v in keep:
-            sub.add_node(v)
-        for u in keep:
-            for v in self.adj[u]:
-                if u < v and v in keep:
-                    sub.adj[u].add(v)
-                    sub.adj[v].add(u)
-                    sub.conf[(u, v)] = self.conf[(u, v)]
+        sub.nodes |= keep
+        # Project the kernel's deduplicated instruction rows rather than
+        # the raw operand list: identical rows were merged with summed
+        # weights in first-occurrence order, so conf counts — and every
+        # downstream tie-break — are unchanged, while the scan shrinks
+        # to one AND + popcount per distinct row (this runs once per
+        # atom during decomposition).
+        kern = self.kernel()
+        index = kern.index
+        keep_mask = index.mask_of(keep)
+        for m, w in zip(kern.instr_masks, kern.instr_weights):
+            projected = m & keep_mask
+            if projected.bit_count() > 1:
+                sub._edge_ops.append(frozenset(index.ids_of(projected)))
+                sub._edge_weights.append(w)
         if with_instructions:
             for ops in self.instructions:
-                projected = ops & keep
-                if projected:
-                    sub.instructions.append(projected)
+                proj = ops & keep
+                if proj:
+                    sub.instructions.append(proj)
         return sub
 
     def components(self) -> list[set[int]]:
         """Connected components, each sorted-deterministic."""
-        seen: set[int] = set()
+        kern = self.kernel()
+        ids = kern.index.ids
+        universe = kern.index.universe_mask
+        seen = 0
         out: list[set[int]] = []
-        for start in sorted(self.nodes):
-            if start in seen:
+        for start in range(len(ids)):
+            if (seen >> start) & 1:
                 continue
-            comp: set[int] = set()
-            stack = [start]
-            while stack:
-                v = stack.pop()
-                if v in comp:
-                    continue
-                comp.add(v)
-                stack.extend(self.adj[v] - comp)
+            comp = kern.component_mask(start, universe, 0)
             seen |= comp
-            out.append(comp)
+            out.append({ids[i] for i in iter_bits(comp)})
         return out
 
     def __contains__(self, v: int) -> bool:
@@ -149,3 +218,10 @@ class ConflictGraph:
 
     def __len__(self) -> int:
         return len(self.nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConflictGraph(nodes={len(self.nodes)}, "
+            f"edges={self.num_edges}, "
+            f"instructions={len(self.instructions)})"
+        )

@@ -30,6 +30,7 @@ from itertools import combinations
 from typing import Sequence
 
 from .allocation import Allocation
+from .bitset import COUNTERS, sdr_exists_masks
 from .hitting_set import paper_hitting_set
 from .placement import place_copies
 from .verify import combination_conflict_free
@@ -53,18 +54,31 @@ def _conflicting_combos(
 
     A conflict-free instruction cannot contain a conflicting
     sub-combination (removing operands only relaxes the matching), so
-    only still-conflicting instructions are expanded.
+    only still-conflicting instructions are expanded — and identical
+    instructions are expanded once (they contribute identical combos to
+    the result set, so deduplication cannot change it).  Conflict checks
+    run on the allocation's module-occupancy bitmasks.
     """
+    seen: set[frozenset[int]] = set()
     combos: set[frozenset[int]] = set()
     for ops in operand_sets:
         if len(ops) < size:
             continue
-        if combination_conflict_free(ops, alloc):
+        if ops in seen:
+            COUNTERS.instructions_deduped += 1
+            continue
+        seen.add(ops)
+        if sdr_exists_masks([alloc.modules_mask(v) for v in ops]):
             continue
         for c in combinations(sorted(ops), size):
             combos.add(frozenset(c))
+            COUNTERS.combos_enumerated += 1
     return sorted(
-        (c for c in combos if not combination_conflict_free(c, alloc)),
+        (
+            c
+            for c in combos
+            if not sdr_exists_masks([alloc.modules_mask(v) for v in c])
+        ),
         key=sorted,
     )
 

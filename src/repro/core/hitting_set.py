@@ -11,13 +11,23 @@ hitting-set problem, so the paper uses the one-pass heuristic of Fig. 9:
   ``(S[v, size], S[v, size+1], ..., S[v, k])`` where ``S[v, p]`` counts
   the sets of size p containing v.
 
-:func:`greedy_hitting_set` is the textbook H_m-approximate greedy
-(re-scoring after every pick), provided for the ablation benchmarks.
+:func:`greedy_hitting_set` is the textbook H_m-approximate greedy,
+provided for the ablation benchmarks.
+
+Both heuristics run on bitmask membership: sets become masks over a
+dense value numbering, "already hit" is one AND against the running
+hitting-set mask, and the greedy keeps its per-element coverage counts
+lazily — each pick subtracts the newly-hit sets from their members'
+counters instead of rebuilding the whole coverage table (the reference
+behaviour, kept in :mod:`repro.core.reference`, rescans every surviving
+set per pick).  Results are identical to the reference.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
+
+from .bitset import COUNTERS, DenseIndex, iter_bits
 
 
 def _occurrence_counts(
@@ -49,35 +59,75 @@ def paper_hitting_set(
             raise ValueError(f"set size {len(s)} outside [1, {k}]")
 
     counts = _occurrence_counts(families, k)
-    hitting: set[int] = {v for s in families if len(s) == 1 for v in s}
+    index = DenseIndex(v for s in families for v in s)
+    ids = index.ids
+    masks = [index.mask_of(s) for s in families]
+    sizes = [len(s) for s in families]
+    # Occurrence vectors as tuples, indexed by dense bit; vector(v) for a
+    # size-p set is the suffix rows[i][p - 1 :].
+    rows = [tuple(counts[v][1 : k + 1]) for v in ids]
+
+    hitting_mask = 0
+    for m, p in zip(masks, sizes):
+        if p == 1:
+            hitting_mask |= m
 
     for size in range(2, k + 1):
-        for s in families:
-            if len(s) != size or s & hitting:
+        suffix = size - 1
+        for m, p in zip(masks, sizes):
+            if p != size or m & hitting_mask:
                 continue
-            # Fig. 9's comparison: lexicographic on (S[v,size..k]).
-            def vector(v: int) -> tuple[int, ...]:
-                return tuple(counts[v][size : k + 1])
-
-            best = max(sorted(s), key=lambda v: (vector(v), -v))
-            hitting.add(best)
-    return hitting
+            # Fig. 9's comparison: lexicographic on (S[v,size..k]), ties
+            # toward the smallest id — an ascending strict-greater scan.
+            best = -1
+            best_vec: tuple[int, ...] = ()
+            for i in iter_bits(m):
+                vec = rows[i][suffix:]
+                if best < 0 or vec > best_vec:
+                    best, best_vec = i, vec
+            hitting_mask |= 1 << best
+    return set(index.ids_of(hitting_mask))
 
 
 def greedy_hitting_set(sets: Iterable[Iterable[int]]) -> set[int]:
     """Classic greedy: repeatedly pick the element hitting the most
     not-yet-hit sets (ties toward the smallest id)."""
-    remaining = [frozenset(s) for s in sets if s]
-    hitting: set[int] = set()
-    while remaining:
-        coverage: dict[int, int] = {}
-        for s in remaining:
-            for v in s:
-                coverage[v] = coverage.get(v, 0) + 1
-        best = max(sorted(coverage), key=lambda v: (coverage[v], -v))
-        hitting.add(best)
-        remaining = [s for s in remaining if best not in s]
-    return hitting
+    families = [frozenset(s) for s in sets if s]
+    if not families:
+        return set()
+    index = DenseIndex(v for s in families for v in s)
+    ids = index.ids
+    masks = [index.mask_of(s) for s in families]
+
+    # Lazy coverage: counts are built once, then each pick subtracts the
+    # sets it newly hits from their members' counters — no full rescan.
+    coverage = [0] * len(ids)
+    for m in masks:
+        for i in iter_bits(m):
+            coverage[i] += 1
+    unhit = list(range(len(masks)))
+
+    hitting_mask = 0
+    while unhit:
+        best = -1
+        best_cov = 0
+        for i, c in enumerate(coverage):
+            # Zero-coverage elements appear in no unhit set and can
+            # never win in the reference's rebuilt table.
+            if c > best_cov:
+                best, best_cov = i, c
+        best_bit = 1 << best
+        hitting_mask |= best_bit
+        still_unhit = []
+        for s in unhit:
+            if masks[s] & best_bit:
+                for i in iter_bits(masks[s]):
+                    coverage[i] -= 1
+                    COUNTERS.lazy_counter_updates += 1
+            else:
+                still_unhit.append(s)
+        unhit = still_unhit
+    return set(index.ids_of(hitting_mask))
 
 
 def is_hitting_set(sets: Iterable[Iterable[int]], candidate: set[int]) -> bool:

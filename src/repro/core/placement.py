@@ -15,6 +15,12 @@ instructions becomes conflict free:
   lexicographically largest vector wins; remaining ties go to a seeded
   random choice (the paper: "a random choice is made") or the lowest
   module index, per ``tie_break``.
+
+Identical instructions are collapsed to one row with a multiplicity
+weight before scoring — a duplicated instruction is conflicting, fixed,
+and counted exactly like its twin, so weighted sums over distinct rows
+equal plain sums over all rows — and the SDR checks run directly on the
+allocation's module-occupancy bitmasks.
 """
 
 from __future__ import annotations
@@ -23,7 +29,9 @@ import random
 from typing import Iterable, Sequence
 
 from .allocation import Allocation
-from .verify import instruction_conflict_free, sdr_exists
+from .bitset import COUNTERS, iter_bits, sdr_exists_masks
+
+_Weighted = list[tuple[frozenset[int], int]]
 
 
 def group_instructions(
@@ -40,27 +48,50 @@ def group_instructions(
     return groups
 
 
+def _group_weighted(
+    operand_sets: Sequence[frozenset[int]],
+    duplicable: set[int],
+    k: int,
+) -> dict[int, _Weighted]:
+    """Like :func:`group_instructions`, with identical rows collapsed to
+    one ``(operands, multiplicity)`` entry (first-occurrence order)."""
+    weight: dict[frozenset[int], int] = {}
+    for ops in operand_sets:
+        y = len(ops & duplicable)
+        if not 1 <= y <= k:
+            continue
+        if ops in weight:
+            weight[ops] += 1
+            COUNTERS.instructions_deduped += 1
+        else:
+            weight[ops] = 1
+    groups: dict[int, _Weighted] = {y: [] for y in range(1, k + 1)}
+    for ops, w in weight.items():
+        groups[len(ops & duplicable)].append((ops, w))
+    return groups
+
+
 def _fix_score(
     value: int,
     module: int,
-    conflicting: Iterable[frozenset[int]],
+    conflicting: Iterable[tuple[frozenset[int], int]],
     alloc: Allocation,
 ) -> int:
-    """How many of the given conflicting instructions become conflict
-    free if a copy of ``value`` is placed in ``module``."""
-    base = alloc.modules(value)
-    if module in base:
+    """How many of the given (weighted) conflicting instructions become
+    conflict free if a copy of ``value`` is placed in ``module``."""
+    base = alloc.modules_mask(value)
+    if (base >> module) & 1:
         return 0
-    augmented = base | {module}
+    augmented = base | (1 << module)
     fixed = 0
-    for ops in conflicting:
+    for ops, w in conflicting:
         if value not in ops:
             continue
-        sets = [
-            augmented if v == value else alloc.modules(v) for v in ops
+        masks = [
+            augmented if v == value else alloc.modules_mask(v) for v in ops
         ]
-        if all(sets) and sdr_exists(sets):
-            fixed += 1
+        if sdr_exists_masks(masks):
+            fixed += w
     return fixed
 
 
@@ -78,40 +109,41 @@ def place_copies(
     re-evaluated against the evolving allocation as copies land.
     """
     k = alloc.k
+    all_modules = (1 << k) - 1
     rng = rng or random.Random(0)
-    groups = group_instructions(operand_sets, duplicable, k)
+    groups = _group_weighted(operand_sets, duplicable, k)
+
+    def is_conflicting(ops: frozenset[int]) -> bool:
+        return not sdr_exists_masks([alloc.modules_mask(v) for v in ops])
 
     # Order the values once, up front (Fig. 10: "The order is determined
     # by counting the number of instructions in the first group that
     # involve each of the variables", falling back to later groups).
-    initial_conflicting: dict[int, list[frozenset[int]]] = {
-        y: [
-            ops
-            for ops in groups[y]
-            if not instruction_conflict_free(ops, alloc)
-        ]
+    initial_conflicting: dict[int, _Weighted] = {
+        y: [(ops, w) for ops, w in groups[y] if is_conflicting(ops)]
         for y in range(1, k + 1)
     }
 
     def involvement(v: int) -> tuple[int, ...]:
         return tuple(
-            sum(1 for ops in initial_conflicting[y] if v in ops)
+            sum(w for ops, w in initial_conflicting[y] if v in ops)
             for y in range(1, k + 1)
         )
 
     ordered = sorted(set(values), key=lambda v: (involvement(v), -v), reverse=True)
 
     for v in ordered:
-        candidates = [m for m in range(k) if m not in alloc.modules(v)]
-        if not candidates:
+        avail = ~alloc.modules_mask(v) & all_modules
+        if not avail:
             continue  # v already everywhere
+        candidates = list(iter_bits(avail))
         # Only instructions containing v can be fixed by a copy of v;
         # restrict the (re-evaluated) conflict scan accordingly.
-        relevant: dict[int, list[frozenset[int]]] = {
+        relevant: dict[int, _Weighted] = {
             y: [
-                ops
-                for ops in groups[y]
-                if v in ops and not instruction_conflict_free(ops, alloc)
+                (ops, w)
+                for ops, w in groups[y]
+                if v in ops and is_conflicting(ops)
             ]
             for y in range(1, k + 1)
         }

@@ -1,0 +1,994 @@
+"""Frozen set-based reference implementations of the allocation kernels.
+
+The live modules in :mod:`repro.core` run on the integer-bitmask kernels
+of :mod:`repro.core.bitset`.  This module retains the original
+``set``/``dict`` implementations they were ported from, verbatim except
+for naming, so that
+
+- the differential suite (``tests/core/test_bitset_differential.py``)
+  can fuzz the bitset kernels against them — the ports are required to
+  be *byte-identical*, not merely equivalent;
+- the perf harness (``benchmarks/bench_alloc.py``) can measure the
+  old-vs-new ratio on real programs.
+
+Everything here shares the result dataclasses of the live modules
+(:class:`~repro.core.coloring.ColoringResult`,
+:class:`~repro.core.backtrack.BacktrackStats`,
+:class:`~repro.core.assign.AssignmentResult`, ...), so results compare
+directly.  Do not "improve" this module: its value is that it does not
+change.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from itertools import combinations
+from typing import Iterable, Iterator, Sequence
+
+from .allocation import Allocation
+from .assign import AssignmentResult, AssignmentStats
+from .backtrack import BacktrackStats
+from .coloring import ColoringResult, ColoringStep
+from .duplication import DuplicationStats
+from .verify import sdr_exists
+
+
+def _edge(u: int, v: int) -> tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+class ReferenceConflictGraph:
+    """The original pair-hashing conflict graph (paper §2)."""
+
+    __slots__ = ("nodes", "adj", "conf", "instructions")
+
+    def __init__(self) -> None:
+        self.nodes: set[int] = set()
+        self.adj: dict[int, set[int]] = {}
+        self.conf: dict[tuple[int, int], int] = {}
+        self.instructions: list[frozenset[int]] = []
+
+    @classmethod
+    def from_operand_sets(
+        cls,
+        operand_sets: Iterable[Iterable[int]],
+        weights: Iterable[int] | None = None,
+    ) -> "ReferenceConflictGraph":
+        graph = cls()
+        if weights is None:
+            for operands in operand_sets:
+                graph.add_instruction(operands)
+        else:
+            for operands, w in zip(operand_sets, weights):
+                graph.add_instruction(operands, w)
+        return graph
+
+    def add_node(self, v: int) -> None:
+        if v not in self.nodes:
+            self.nodes.add(v)
+            self.adj[v] = set()
+
+    def add_instruction(self, operands: Iterable[int], weight: int = 1) -> None:
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        ops = frozenset(operands)
+        self.instructions.append(ops)
+        for v in ops:
+            self.add_node(v)
+        if weight == 0:
+            return
+        ops_sorted = sorted(ops)
+        for i, u in enumerate(ops_sorted):
+            for v in ops_sorted[i + 1 :]:
+                self.adj[u].add(v)
+                self.adj[v].add(u)
+                key = _edge(u, v)
+                self.conf[key] = self.conf.get(key, 0) + weight
+
+    def degree(self, v: int) -> int:
+        return len(self.adj[v])
+
+    def neighbors(self, v: int) -> set[int]:
+        return self.adj[v]
+
+    def conflict_count(self, u: int, v: int) -> int:
+        return self.conf.get(_edge(u, v), 0)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return _edge(u, v) in self.conf
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        return iter(self.conf.keys())
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.conf)
+
+    def is_clique(self, vertices: Iterable[int]) -> bool:
+        vs = list(vertices)
+        for i, u in enumerate(vs):
+            for v in vs[i + 1 :]:
+                if v not in self.adj[u]:
+                    return False
+        return True
+
+    def subgraph(
+        self, vertices: Iterable[int], with_instructions: bool = False
+    ) -> "ReferenceConflictGraph":
+        keep = {v for v in vertices if v in self.nodes}
+        sub = ReferenceConflictGraph()
+        for v in keep:
+            sub.add_node(v)
+        for u in keep:
+            for v in self.adj[u]:
+                if u < v and v in keep:
+                    sub.adj[u].add(v)
+                    sub.adj[v].add(u)
+                    sub.conf[(u, v)] = self.conf[(u, v)]
+        if with_instructions:
+            for ops in self.instructions:
+                projected = ops & keep
+                if projected:
+                    sub.instructions.append(projected)
+        return sub
+
+    def components(self) -> list[set[int]]:
+        seen: set[int] = set()
+        out: list[set[int]] = []
+        for start in sorted(self.nodes):
+            if start in seen:
+                continue
+            comp: set[int] = set()
+            stack = [start]
+            while stack:
+                v = stack.pop()
+                if v in comp:
+                    continue
+                comp.add(v)
+                stack.extend(self.adj[v] - comp)
+            seen |= comp
+            out.append(comp)
+        return out
+
+    def __contains__(self, v: int) -> bool:
+        return v in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+# --------------------------------------------------------------------------
+# Atom decomposition (original set-walking version)
+# --------------------------------------------------------------------------
+
+REFERENCE_MAX_NODES = 800
+
+
+def reference_mcs_m(
+    graph: ReferenceConflictGraph,
+) -> tuple[dict[int, set[int]], list[int]]:
+    vertices = sorted(graph.nodes)
+    weight: dict[int, int] = {v: 0 for v in vertices}
+    numbered: set[int] = set()
+    h_adj: dict[int, set[int]] = {v: set(graph.adj[v]) for v in vertices}
+    numbering: list[int] = []
+
+    heap: list[tuple[int, int]] = [(0, v) for v in vertices]
+    heapq.heapify(heap)
+
+    for _ in range(len(vertices)):
+        while True:
+            neg_w, v = heapq.heappop(heap)
+            if v not in numbered and -neg_w == weight[v]:
+                break
+        minimax: dict[int, int] = {}
+        search: list[tuple[int, int]] = []
+        for u in graph.adj[v]:
+            if u not in numbered:
+                minimax[u] = -1
+                search.append((-1, u))
+        heapq.heapify(search)
+        while search:
+            d, u = heapq.heappop(search)
+            if d > minimax.get(u, 1 << 60):
+                continue
+            through = max(d, weight[u])
+            for w in graph.adj[u]:
+                if w in numbered or w == v:
+                    continue
+                if through < minimax.get(w, 1 << 60):
+                    minimax[w] = through
+                    heapq.heappush(search, (through, w))
+        reached = {u for u, d in minimax.items() if d < weight[u]}
+        for u in reached:
+            weight[u] += 1
+            heapq.heappush(heap, (-weight[u], u))
+            h_adj[v].add(u)
+            h_adj[u].add(v)
+        numbered.add(v)
+        numbering.append(v)
+
+    return h_adj, list(reversed(numbering))
+
+
+def _component_of(
+    adj: dict[int, set[int]],
+    start: int,
+    universe: set[int],
+    excluded: frozenset[int],
+) -> set[int]:
+    comp: set[int] = set()
+    stack = [start]
+    while stack:
+        v = stack.pop()
+        if v in comp or v in excluded or v not in universe:
+            continue
+        comp.add(v)
+        stack.extend(adj[v])
+    return comp
+
+
+def _reference_decompose_component(
+    graph: ReferenceConflictGraph,
+    component: set[int],
+    out_atoms: list[set[int]],
+    out_separators: list[frozenset[int]],
+) -> None:
+    sub = graph.subgraph(component)
+    h_adj, order = reference_mcs_m(sub)
+    position = {v: i for i, v in enumerate(order)}
+
+    work: list[set[int]] = [set(component)]
+    while work:
+        piece = work.pop()
+        if len(piece) <= 2:
+            out_atoms.append(piece)
+            continue
+        split = None
+        for v in sorted(piece, key=position.__getitem__):
+            madj = frozenset(
+                u
+                for u in h_adj[v]
+                if u in piece and position[u] > position[v]
+            )
+            if not madj or len(madj) >= len(piece) - 1:
+                continue
+            if not graph.is_clique(madj):
+                continue
+            comp = _component_of(graph.adj, v, piece, madj)
+            if len(comp) + len(madj) < len(piece):
+                split = (madj, comp)
+                break
+        if split is None:
+            out_atoms.append(piece)
+            continue
+        madj, comp = split
+        out_separators.append(madj)
+        work.append(comp | madj)
+        work.append(piece - comp)
+
+
+def reference_decompose_atoms(
+    graph: ReferenceConflictGraph, max_nodes: int = REFERENCE_MAX_NODES
+) -> tuple[list[ReferenceConflictGraph], list[frozenset[int]]]:
+    atom_sets: list[set[int]] = []
+    separators: list[frozenset[int]] = []
+
+    comps = graph.components()
+    if len(comps) > 1:
+        separators.append(frozenset())
+
+    for comp in comps:
+        if len(comp) <= 2 or len(comp) > max_nodes:
+            atom_sets.append(comp)
+        else:
+            _reference_decompose_component(graph, comp, atom_sets, separators)
+
+    return [graph.subgraph(s) for s in atom_sets], separators
+
+
+# --------------------------------------------------------------------------
+# Verify (original set-based checks)
+# --------------------------------------------------------------------------
+
+
+def reference_instruction_conflict_free(
+    operands: Iterable[int], alloc: Allocation
+) -> bool:
+    sets = [alloc.modules(v) for v in set(operands)]
+    if any(not s for s in sets):
+        return False
+    return sdr_exists(sets)
+
+
+def reference_conflicting_instructions(
+    operand_sets: Iterable[Iterable[int]], alloc: Allocation
+) -> list[frozenset[int]]:
+    return [
+        frozenset(ops)
+        for ops in operand_sets
+        if not reference_instruction_conflict_free(ops, alloc)
+    ]
+
+
+def reference_verify_allocation(
+    operand_sets: Iterable[Iterable[int]], alloc: Allocation
+) -> bool:
+    return not reference_conflicting_instructions(operand_sets, alloc)
+
+
+# --------------------------------------------------------------------------
+# Colouring (original dict-weight version of Fig. 4)
+# --------------------------------------------------------------------------
+
+
+def _edge_weights(
+    graph: ReferenceConflictGraph, k: int
+) -> dict[tuple[int, int], int]:
+    wt: dict[tuple[int, int], int] = {}
+    for u, v in graph.edges():
+        c = graph.conflict_count(u, v)
+        wt[(u, v)] = 0 if graph.degree(u) < k else c
+        wt[(v, u)] = 0 if graph.degree(v) < k else c
+    return wt
+
+
+def reference_color_atom(
+    graph: ReferenceConflictGraph,
+    k: int,
+    preassigned: dict[int, int] | None = None,
+    module_choice: str = "first",
+    module_use: list[int] | None = None,
+    prefer: set[int] | None = None,
+) -> ColoringResult:
+    result = ColoringResult(k)
+    preassigned = preassigned or {}
+    prefer = prefer or set()
+    nodes = sorted(graph.nodes)
+    if not nodes:
+        return result
+
+    wt = _edge_weights(graph, k)
+
+    if module_use is None:
+        module_use = [0] * k
+    incoming: dict[int, int] = {v: 0 for v in nodes}
+    neighbor_colors: dict[int, set[int]] = {v: set() for v in nodes}
+    rest = set(nodes)
+
+    def assign(node: int, module: int, action: str, urgency_num: int) -> None:
+        result.assignment[node] = module
+        module_use[module] += 1
+        result.trace.append(
+            ColoringStep(node, urgency_num, k - len(neighbor_colors[node]),
+                         action, module)
+        )
+        for nb in graph.adj[node]:
+            if nb in rest:
+                incoming[nb] += wt[(node, nb)]
+                neighbor_colors[nb].add(module)
+
+    for node, module in preassigned.items():
+        if node in rest:
+            rest.discard(node)
+            assign(node, module, "preassigned", 0)
+
+    if not preassigned:
+        s_val = {
+            v: sum(wt[(v, u)] for u in graph.adj[v]) for v in nodes
+        }
+        pool = sorted(prefer & rest) or nodes
+        first = max(pool, key=lambda v: (s_val[v], -v))
+        rest.discard(first)
+        if module_choice == "least_used":
+            first_module = min(range(k), key=lambda m: (module_use[m], m))
+        else:
+            first_module = 0
+        assign(first, first_module, "first", s_val[first])
+
+    while rest:
+        pool = sorted(prefer & rest) or sorted(rest)
+        best: int | None = None
+        best_num, best_den = -1, 1
+        best_inf = False
+        for v in pool:
+            k_v = k - len(neighbor_colors[v])
+            if k_v == 0:
+                if not best_inf or best is None:
+                    best, best_inf = v, True
+                    break
+            elif not best_inf:
+                num = incoming[v]
+                if best is None or num * best_den > best_num * k_v:
+                    best, best_num, best_den = v, num, k_v
+        assert best is not None
+        rest.discard(best)
+
+        k_best = k - len(neighbor_colors[best])
+        if k_best == 0:
+            result.unassigned.append(best)
+            result.trace.append(
+                ColoringStep(best, incoming[best], 0, "removed", None)
+            )
+            continue
+        available = [m for m in range(k) if m not in neighbor_colors[best]]
+        if module_choice == "least_used":
+            module = min(available, key=lambda m: (module_use[m], m))
+        elif module_choice == "first":
+            module = available[0]
+        else:
+            raise ValueError(f"unknown module_choice {module_choice!r}")
+        assign(best, module, "assigned", incoming[best])
+
+    return result
+
+
+def reference_color_graph(
+    graph: ReferenceConflictGraph,
+    k: int,
+    preassigned: dict[int, int] | None = None,
+    module_choice: str = "first",
+    use_atoms: bool = True,
+    prefer: set[int] | None = None,
+) -> ColoringResult:
+    preassigned = dict(preassigned or {})
+    if not use_atoms:
+        result = reference_color_atom(
+            graph, k, preassigned, module_choice, prefer=prefer
+        )
+        result.num_atoms = 1 if graph.nodes else 0
+        _reference_repair_improper_edges(graph, result, set(preassigned))
+        return result
+
+    combined = ColoringResult(k)
+    combined.assignment.update(
+        {v: m for v, m in preassigned.items() if v in graph.nodes}
+    )
+    atoms, _seps = reference_decompose_atoms(graph)
+    atoms = [a for a in atoms if a.nodes]
+    combined.num_atoms = len(atoms)
+    module_use = [0] * k
+    for atom in atoms:
+        pre = {
+            v: combined.assignment[v]
+            for v in atom.nodes
+            if v in combined.assignment
+        }
+        pre.update(
+            {v: m for v, m in preassigned.items() if v in atom.nodes}
+        )
+        sub = reference_color_atom(
+            atom, k, pre, module_choice, module_use, prefer
+        )
+        combined.merge(sub)
+    combined.unassigned = [
+        v for v in combined.unassigned if v not in combined.assignment
+    ]
+    _reference_repair_improper_edges(graph, combined, set(preassigned))
+    return combined
+
+
+def _reference_repair_improper_edges(
+    graph: ReferenceConflictGraph,
+    result: ColoringResult,
+    caller_fixed: set[int],
+) -> None:
+    for u, v in sorted(graph.edges()):
+        cu = result.assignment.get(u)
+        cv = result.assignment.get(v)
+        if cu is None or cv is None or cu != cv:
+            continue
+        u_fixed, v_fixed = u in caller_fixed, v in caller_fixed
+        if u_fixed and not v_fixed:
+            demote = v
+        elif v_fixed and not u_fixed:
+            demote = u
+        else:
+            demote = max(u, v)
+        del result.assignment[demote]
+        result.unassigned.append(demote)
+        result.trace.append(
+            ColoringStep(demote, 0, 0, "removed", None)
+        )
+
+
+# --------------------------------------------------------------------------
+# Backtracking duplication (original exhaustive enumeration, Fig. 6)
+# --------------------------------------------------------------------------
+
+
+def _reference_enumerate_placements(
+    operands: Sequence[int],
+    forbidden: frozenset[int],
+    alloc: Allocation,
+) -> list[tuple[int, tuple[int, ...]]]:
+    k = alloc.k
+    results: list[tuple[int, tuple[int, ...]]] = []
+    chosen: list[int] = []
+
+    def backtrack(i: int, cost: int) -> None:
+        if i == len(operands):
+            results.append((cost, tuple(chosen)))
+            return
+        v = operands[i]
+        existing = alloc.modules(v)
+        candidates = sorted(
+            (m for m in range(k) if m not in forbidden and m not in chosen),
+            key=lambda m: (m not in existing, m),
+        )
+        for m in candidates:
+            chosen.append(m)
+            backtrack(i + 1, cost + (m not in existing))
+            chosen.pop()
+
+    backtrack(0, 0)
+    return results
+
+
+def reference_backtrack_duplication(
+    operand_sets: Sequence[frozenset[int]],
+    alloc: Allocation,
+    unassigned: Sequence[int],
+    rng: random.Random | None = None,
+    tie_break: str = "random",
+) -> BacktrackStats:
+    rng = rng or random.Random(0)
+    stats = BacktrackStats()
+    unassigned_set = set(unassigned)
+
+    relevant = [ops for ops in operand_sets if ops & unassigned_set]
+    relevant.sort(key=lambda ops: (len(ops & unassigned_set), sorted(ops)))
+
+    for ops in relevant:
+        todo = sorted(ops & unassigned_set)
+        fixed = ops - unassigned_set
+        forbidden: set[int] = set()
+        for v in fixed:
+            mods = alloc.modules(v)
+            if not mods:
+                raise ValueError(f"fixed operand {v} is unplaced")
+            if len(mods) == 1:
+                forbidden.add(next(iter(mods)))
+        placements = _reference_enumerate_placements(
+            todo, frozenset(forbidden), alloc
+        )
+        multi_fixed = [
+            alloc.modules(v) for v in fixed if alloc.copy_count(v) > 1
+        ]
+        if multi_fixed:
+            fixed_sets = [alloc.modules(v) for v in fixed]
+            placements = [
+                (c, p)
+                for c, p in placements
+                if sdr_exists(fixed_sets + [{m} for m in p])
+            ]
+        stats.instructions_processed += 1
+        stats.placements_enumerated += len(placements)
+        if not placements:
+            stats.residual_instructions.append(ops)
+            for v in todo:
+                if not alloc.is_placed(v):
+                    alloc.add_copy(v, 0)
+                    stats.copies_created += 1
+            continue
+        best_cost = min(c for c, _ in placements)
+        best = [p for c, p in placements if c == best_cost]
+        if len(best) == 1 or tie_break == "first":
+            modules = best[0]
+        elif tie_break == "random":
+            modules = rng.choice(best)
+        else:
+            raise ValueError(f"unknown tie_break {tie_break!r}")
+        for v, m in zip(todo, modules):
+            if m not in alloc.modules(v):
+                alloc.add_copy(v, m)
+                stats.copies_created += 1
+
+    for v in sorted(unassigned_set):
+        if not alloc.is_placed(v):
+            alloc.add_copy(v, 0)
+            stats.copies_created += 1
+            stats.unreferenced_placed.append(v)
+    return stats
+
+
+# --------------------------------------------------------------------------
+# Hitting sets (original list-rescanning versions, Fig. 9)
+# --------------------------------------------------------------------------
+
+
+def reference_paper_hitting_set(
+    sets: Iterable[Iterable[int]], k: int
+) -> set[int]:
+    families = [frozenset(s) for s in sets]
+    for s in families:
+        if not 1 <= len(s) <= k:
+            raise ValueError(f"set size {len(s)} outside [1, {k}]")
+
+    counts: dict[int, list[int]] = {}
+    for s in families:
+        p = len(s)
+        for v in s:
+            row = counts.setdefault(v, [0] * (k + 1))
+            if p <= k:
+                row[p] += 1
+
+    hitting: set[int] = {v for s in families if len(s) == 1 for v in s}
+
+    for size in range(2, k + 1):
+        for s in families:
+            if len(s) != size or s & hitting:
+                continue
+
+            def vector(v: int) -> tuple[int, ...]:
+                return tuple(counts[v][size : k + 1])
+
+            best = max(sorted(s), key=lambda v: (vector(v), -v))
+            hitting.add(best)
+    return hitting
+
+
+def reference_greedy_hitting_set(sets: Iterable[Iterable[int]]) -> set[int]:
+    remaining = [frozenset(s) for s in sets if s]
+    hitting: set[int] = set()
+    while remaining:
+        coverage: dict[int, int] = {}
+        for s in remaining:
+            for v in s:
+                coverage[v] = coverage.get(v, 0) + 1
+        best = max(sorted(coverage), key=lambda v: (coverage[v], -v))
+        hitting.add(best)
+        remaining = [s for s in remaining if best not in s]
+    return hitting
+
+
+# --------------------------------------------------------------------------
+# Copy placement (original unweighted rescan version, Fig. 10)
+# --------------------------------------------------------------------------
+
+
+def _reference_group_instructions(
+    operand_sets: Sequence[frozenset[int]],
+    duplicable: set[int],
+    k: int,
+) -> dict[int, list[frozenset[int]]]:
+    groups: dict[int, list[frozenset[int]]] = {y: [] for y in range(1, k + 1)}
+    for ops in operand_sets:
+        y = len(ops & duplicable)
+        if 1 <= y <= k:
+            groups[y].append(ops)
+    return groups
+
+
+def _reference_fix_score(
+    value: int,
+    module: int,
+    conflicting: Iterable[frozenset[int]],
+    alloc: Allocation,
+) -> int:
+    base = alloc.modules(value)
+    if module in base:
+        return 0
+    augmented = base | {module}
+    fixed = 0
+    for ops in conflicting:
+        if value not in ops:
+            continue
+        sets = [
+            augmented if v == value else alloc.modules(v) for v in ops
+        ]
+        if all(sets) and sdr_exists(sets):
+            fixed += 1
+    return fixed
+
+
+def reference_place_copies(
+    values: Iterable[int],
+    alloc: Allocation,
+    operand_sets: Sequence[frozenset[int]],
+    duplicable: set[int],
+    rng: random.Random | None = None,
+    tie_break: str = "random",
+) -> None:
+    k = alloc.k
+    rng = rng or random.Random(0)
+    groups = _reference_group_instructions(operand_sets, duplicable, k)
+
+    initial_conflicting: dict[int, list[frozenset[int]]] = {
+        y: [
+            ops
+            for ops in groups[y]
+            if not reference_instruction_conflict_free(ops, alloc)
+        ]
+        for y in range(1, k + 1)
+    }
+
+    def involvement(v: int) -> tuple[int, ...]:
+        return tuple(
+            sum(1 for ops in initial_conflicting[y] if v in ops)
+            for y in range(1, k + 1)
+        )
+
+    ordered = sorted(
+        set(values), key=lambda v: (involvement(v), -v), reverse=True
+    )
+
+    for v in ordered:
+        candidates = [m for m in range(k) if m not in alloc.modules(v)]
+        if not candidates:
+            continue
+        relevant: dict[int, list[frozenset[int]]] = {
+            y: [
+                ops
+                for ops in groups[y]
+                if v in ops
+                and not reference_instruction_conflict_free(ops, alloc)
+            ]
+            for y in range(1, k + 1)
+        }
+        score: dict[int, tuple[int, ...]] = {}
+        for m in candidates:
+            score[m] = tuple(
+                _reference_fix_score(v, m, relevant[y], alloc)
+                for y in range(1, k + 1)
+            )
+        best_vec = max(score.values())
+        best_modules = [m for m in candidates if score[m] == best_vec]
+        if len(best_modules) == 1 or tie_break == "first":
+            chosen = best_modules[0]
+        elif tie_break == "random":
+            chosen = rng.choice(best_modules)
+        else:
+            raise ValueError(f"unknown tie_break {tie_break!r}")
+        alloc.add_copy(v, chosen)
+
+
+# --------------------------------------------------------------------------
+# Hitting-set duplication driver (original per-instruction rescans, Fig. 7)
+# --------------------------------------------------------------------------
+
+
+def _reference_conflicting_combos(
+    operand_sets: Sequence[frozenset[int]],
+    size: int,
+    alloc: Allocation,
+) -> list[frozenset[int]]:
+    combos: set[frozenset[int]] = set()
+    for ops in operand_sets:
+        if len(ops) < size:
+            continue
+        if reference_instruction_conflict_free(ops, alloc):
+            continue
+        for c in combinations(sorted(ops), size):
+            combos.add(frozenset(c))
+    return sorted(
+        (
+            c
+            for c in combos
+            if not reference_instruction_conflict_free(c, alloc)
+        ),
+        key=sorted,
+    )
+
+
+def reference_hitting_set_duplication(
+    operand_sets: Sequence[frozenset[int]],
+    alloc: Allocation,
+    unassigned: Sequence[int],
+    duplicable: set[int],
+    rng: random.Random | None = None,
+    tie_break: str = "random",
+    max_rounds: int = 64,
+) -> DuplicationStats:
+    rng = rng or random.Random(0)
+    stats = DuplicationStats()
+    k = alloc.k
+    unassigned = sorted(set(unassigned))
+    relevant = [ops for ops in operand_sets if len(ops) >= 2]
+
+    def place(values: Sequence[int]) -> None:
+        before = alloc.total_copies
+        reference_place_copies(
+            values, alloc, relevant, set(duplicable), rng, tie_break
+        )
+        stats.copies_created += alloc.total_copies - before
+
+    first = [v for v in unassigned if alloc.copy_count(v) < 1]
+    if first:
+        place(first)
+    second = [v for v in unassigned if alloc.copy_count(v) < 2]
+    if second:
+        place(second)
+
+    for v in unassigned:
+        if not alloc.is_placed(v):
+            alloc.add_copy(v, 0)
+            stats.copies_created += 1
+            stats.unreferenced_placed.append(v)
+
+    for size in range(2, k + 1):
+        rounds = 0
+        hopeless: set[frozenset[int]] = set()
+        while rounds < max_rounds:
+            conflicting = [
+                c
+                for c in _reference_conflicting_combos(relevant, size, alloc)
+                if c not in hopeless
+            ]
+            candidate_sets: list[frozenset[int]] = []
+            for combo in conflicting:
+                multi = frozenset(
+                    v
+                    for v in combo
+                    if v in duplicable and 2 <= alloc.copy_count(v) < k
+                )
+                cands = multi or frozenset(
+                    v
+                    for v in combo
+                    if v in duplicable and alloc.copy_count(v) < k
+                )
+                if cands:
+                    candidate_sets.append(cands)
+                else:
+                    hopeless.add(combo)
+            if not candidate_sets:
+                break
+            rounds += 1
+            v_dup = reference_paper_hitting_set(candidate_sets, k)
+            before = alloc.total_copies
+            place(sorted(v_dup))
+            if alloc.total_copies == before:
+                hopeless.update(
+                    c
+                    for c in conflicting
+                    if not reference_instruction_conflict_free(c, alloc)
+                )
+                break
+        stats.rounds_per_size[size] = rounds
+        stats.residual_combos.extend(
+            c
+            for c in sorted(hopeless, key=sorted)
+            if not reference_instruction_conflict_free(c, alloc)
+        )
+
+    return stats
+
+
+# --------------------------------------------------------------------------
+# Full assignment driver (original trial-allocation pinning)
+# --------------------------------------------------------------------------
+
+
+def _reference_place_pinned(
+    value: int,
+    alloc: Allocation,
+    operand_sets: Sequence[frozenset[int]],
+    weights: Sequence[int] | None = None,
+) -> None:
+    k = alloc.k
+    involved = [
+        (ops, weights[i] if weights is not None else 1)
+        for i, ops in enumerate(operand_sets)
+        if value in ops
+    ]
+    best_module, best_conflicts = 0, None
+    for m in range(k):
+        trial = alloc.copy()
+        trial.add_copy(value, m)
+        bad = sum(
+            w
+            for ops, w in involved
+            if all(trial.modules(v) for v in ops)
+            and not reference_instruction_conflict_free(ops, trial)
+        )
+        if best_conflicts is None or bad < best_conflicts:
+            best_module, best_conflicts = m, bad
+    alloc.add_copy(value, best_module)
+
+
+def reference_assign_modules(
+    operand_sets: Iterable[Iterable[int]],
+    k: int,
+    method: str = "hitting_set",
+    duplicable: set[int] | None = None,
+    initial: Allocation | None = None,
+    all_values: Iterable[int] | None = None,
+    use_atoms: bool = True,
+    module_choice: str = "first",
+    tie_break: str = "random",
+    seed: int = 0,
+    weights: Sequence[int] | None = None,
+) -> AssignmentResult:
+    """The original :func:`repro.core.assign.assign_modules` on the
+    reference kernels — same driver logic, set-based machinery."""
+    raw = [frozenset(s) for s in operand_sets]
+    if weights is not None:
+        weights = list(weights)
+        if len(weights) != len(raw):
+            raise ValueError("weights must align with operand_sets")
+        pairs = [(s, w) for s, w in zip(raw, weights) if s and w > 0]
+        sets = [s for s, _ in pairs]
+        weights = [w for _, w in pairs]
+    else:
+        sets = [s for s in raw if s]
+    rng = random.Random(seed)
+
+    graph = ReferenceConflictGraph.from_operand_sets(sets, weights)
+    if duplicable is None:
+        duplicable = set(graph.nodes)
+        if all_values is not None:
+            duplicable |= set(all_values)
+
+    alloc = initial.copy() if initial is not None else Allocation(k)
+    preassigned = {
+        v: next(iter(alloc.modules(v)))
+        for v in alloc.values()
+        if alloc.copy_count(v) == 1 and v in graph.nodes
+    }
+    flexible = {
+        v
+        for v in alloc.values()
+        if alloc.copy_count(v) > 1 and v in graph.nodes
+    }
+
+    color_nodes = graph.nodes - flexible
+    pinned_first = {v for v in color_nodes if v not in duplicable}
+    coloring = reference_color_graph(
+        graph.subgraph(color_nodes),
+        k,
+        preassigned,
+        module_choice,
+        use_atoms,
+        prefer=pinned_first,
+    )
+
+    for v, m in coloring.assignment.items():
+        if not alloc.is_placed(v):
+            alloc.add_copy(v, m)
+
+    removed = list(coloring.unassigned)
+    pinned = sorted(v for v in removed if v not in duplicable)
+    dup_targets = [v for v in removed if v in duplicable]
+
+    for v in pinned:
+        if not alloc.is_placed(v):
+            _reference_place_pinned(v, alloc, sets, weights)
+
+    copies_before = alloc.total_copies
+    if method == "hitting_set":
+        reference_hitting_set_duplication(
+            sets, alloc, dup_targets, duplicable, rng, tie_break
+        )
+    elif method == "backtrack":
+        reference_backtrack_duplication(sets, alloc, dup_targets, rng, tie_break)
+        if reference_conflicting_instructions(sets, alloc):
+            reference_hitting_set_duplication(
+                sets, alloc, [], duplicable, rng, tie_break
+            )
+    else:
+        raise ValueError(f"unknown method {method!r}")
+
+    if all_values is not None:
+        load = [0] * k
+        for v in alloc.values():
+            for m in alloc.modules(v):
+                load[m] += 1
+        for v in sorted(set(all_values)):
+            if not alloc.is_placed(v):
+                m = min(range(k), key=lambda i: (load[i], i))
+                alloc.add_copy(v, m)
+                load[m] += 1
+
+    stats = AssignmentStats(
+        k=k,
+        num_values=len(graph.nodes),
+        num_instructions=len(sets),
+        colored=len(coloring.assignment),
+        removed=len(removed),
+        pinned=pinned,
+        copies_created=alloc.total_copies - copies_before,
+        residual_instructions=reference_conflicting_instructions(sets, alloc),
+        num_edges=graph.num_edges,
+    )
+    return AssignmentResult(alloc, coloring, stats, method)

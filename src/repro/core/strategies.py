@@ -27,6 +27,7 @@ from ..liw.schedule import Schedule
 from ..passes.events import Metrics
 from .allocation import Allocation
 from .assign import AssignmentResult, assign_modules
+from .bitset import COUNTERS
 from .verify import conflicting_instructions
 
 
@@ -79,13 +80,26 @@ def _program_facts(
 def _timed_assign(
     metrics: "Metrics | None", stage: str, *args, **kwargs
 ) -> AssignmentResult:
-    """Run :func:`assign_modules`, recording a stage metric when asked."""
+    """Run :func:`assign_modules`, recording a stage metric when asked.
+
+    The stage metric carries the bitset-kernel work counters
+    (``kernel_*``) accumulated during the call — masks built, placements
+    enumerated, branches pruned, memo hits, ... — so ``--trace-json``
+    exposes per-stage kernel effort (see
+    :class:`repro.core.bitset.KernelCounters`)."""
+    before = COUNTERS.snapshot()
     t0 = time.perf_counter()
     result = assign_modules(*args, **kwargs)
+    wall = time.perf_counter() - t0
     if metrics is not None:
+        kernel_counts = {
+            f"kernel_{name}": n
+            for name, n in COUNTERS.delta_since(before).items()
+            if n
+        }
         metrics.add_stage(
             stage,
-            time.perf_counter() - t0,
+            wall,
             graph_values=result.stats.num_values,
             graph_edges=result.stats.num_edges,
             instructions=result.stats.num_instructions,
@@ -93,6 +107,7 @@ def _timed_assign(
             colored=result.stats.colored,
             removed=result.stats.removed,
             copies_created=result.stats.copies_created,
+            **kernel_counts,
         )
     return result
 

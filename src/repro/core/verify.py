@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from .allocation import Allocation
+from .bitset import sdr_exists_masks
 
 
 def find_sdr(module_sets: Sequence[Iterable[int]]) -> list[int] | None:
@@ -99,21 +100,27 @@ def instruction_conflict_free(
     operands: Iterable[int], alloc: Allocation
 ) -> bool:
     """True iff the instruction's operand copy-sets admit an SDR."""
-    sets = [alloc.modules(v) for v in set(operands)]
-    if any(not s for s in sets):
-        return False
-    return sdr_exists(sets)
+    masks = [alloc.modules_mask(v) for v in set(operands)]
+    return sdr_exists_masks(masks)
 
 
 def conflicting_instructions(
     operand_sets: Iterable[Iterable[int]], alloc: Allocation
 ) -> list[frozenset[int]]:
     """Instructions that still have a memory access conflict."""
-    return [
-        frozenset(ops)
-        for ops in operand_sets
-        if not instruction_conflict_free(ops, alloc)
-    ]
+    # Identical operand sets share one SDR check (the allocation is
+    # fixed for the duration of the scan).
+    verdicts: dict[frozenset[int], bool] = {}
+    out: list[frozenset[int]] = []
+    for ops in operand_sets:
+        key = frozenset(ops)
+        free = verdicts.get(key)
+        if free is None:
+            free = instruction_conflict_free(key, alloc)
+            verdicts[key] = free
+        if not free:
+            out.append(key)
+    return out
 
 
 def verify_allocation(

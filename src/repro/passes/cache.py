@@ -30,6 +30,7 @@ class ArtifactCache:
         self._entries: "OrderedDict[str, dict[str, object]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -46,15 +47,22 @@ class ArtifactCache:
         self.hits += 1
         return entry
 
-    def put(self, fingerprint: str, artifacts: dict[str, object]) -> None:
+    def put(self, fingerprint: str, artifacts: dict[str, object]) -> int:
+        """Store an entry; returns how many LRU entries were evicted to
+        make room (the pass manager surfaces the count on the pass's
+        Tracer event)."""
         self._entries[fingerprint] = dict(artifacts)
         self._entries.move_to_end(fingerprint)
+        evicted = 0
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            evicted += 1
+        self.evictions += evicted
+        return evicted
 
     def clear(self) -> None:
         self._entries.clear()
-        self.hits = self.misses = 0
+        self.hits = self.misses = self.evictions = 0
 
     def stats(self) -> dict[str, object]:
         lookups = self.hits + self.misses
@@ -62,5 +70,6 @@ class ArtifactCache:
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "hit_rate": self.hits / lookups if lookups else 0.0,
         }

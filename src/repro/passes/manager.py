@@ -238,13 +238,19 @@ class PassManager:
                     f"pass {p.name!r} declared writes {list(p.writes)} but "
                     f"did not produce {unwritten}"
                 )
+            # Store before emitting "end" so the event can carry the
+            # cache's LRU eviction count for this pass.
+            if p.cacheable and self.cache is not None:
+                evicted = self.cache.put(
+                    fp, {w: store.get(w) for w in p.writes}
+                )
+                if evicted:
+                    ctx.counts["cache_evictions"] = evicted
             emit(
                 PassEvent(
                     p.name, "end", wall, fp, dict(ctx.counts),
                     tuple(ctx.warnings),
                 )
             )
-            if p.cacheable and self.cache is not None:
-                self.cache.put(fp, {w: store.get(w) for w in p.writes})
 
         return result

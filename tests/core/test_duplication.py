@@ -116,3 +116,81 @@ def test_deterministic_under_first_tie_break(workload):
     a1, _, _ = run_hitting(sets, k, tie_break="first")
     a2, _, _ = run_hitting(sets, k, tie_break="first")
     assert a1.as_dict() == a2.as_dict()
+
+
+# --------------------------------------------------------------------------
+# Instruction dedup before combination enumeration
+# --------------------------------------------------------------------------
+
+
+def test_identical_instructions_dedupe_with_identical_residual_combos():
+    """Repeating an instruction must not change the outcome: identical
+    operand-set rows are collapsed before combination enumeration, and
+    the residual combos equal the reference's (which expands every
+    row).  A conflict that cannot be fixed (nothing duplicable) stays a
+    single residual combo however many times its instruction repeats."""
+    import random
+
+    from repro.core.bitset import COUNTERS
+    from repro.core.reference import reference_hitting_set_duplication
+
+    k = 2
+    repeats = [frozenset({1, 2})] * 5 + [frozenset({2, 3})]
+
+    def fixed_alloc():
+        alloc = Allocation(k)
+        alloc.add_copy(1, 0)
+        alloc.add_copy(2, 0)  # clashes with 1, and nothing may be copied
+        alloc.add_copy(3, 1)
+        return alloc
+
+    live_alloc, ref_alloc = fixed_alloc(), fixed_alloc()
+    before = COUNTERS.snapshot()
+    live = hitting_set_duplication(
+        repeats, live_alloc, [], set(), random.Random(0)
+    )
+    deduped = COUNTERS.delta_since(before)["instructions_deduped"]
+    ref = reference_hitting_set_duplication(
+        repeats, ref_alloc, [], set(), random.Random(0)
+    )
+    assert live.residual_combos == ref.residual_combos == [frozenset({1, 2})]
+    assert live_alloc.as_dict() == ref_alloc.as_dict()
+    # 4 of the 5 {1,2} rows were collapsed during combo enumeration.
+    assert deduped >= 4
+
+
+def test_duplicated_rows_score_like_their_multiplicity():
+    """Fig. 10 placement on a program with repeated rows must pick the
+    same modules as the reference, which scores every row separately
+    (the live kernel scores distinct rows weighted by multiplicity)."""
+    import random
+
+    from repro.core.reference import reference_hitting_set_duplication
+
+    k = 3
+    sets = (
+        [frozenset({1, 2, 3})] * 3
+        + [frozenset({2, 3, 4})] * 2
+        + [frozenset({1, 3, 4}), frozenset({1, 2, 4})]
+    )
+    graph = ConflictGraph.from_operand_sets(sets)
+    coloring = color_graph(graph, k)
+    duplicable = set(graph.nodes)
+
+    def colored_alloc():
+        alloc = Allocation(k)
+        for v, m in coloring.assignment.items():
+            alloc.add_copy(v, m)
+        return alloc
+
+    live_alloc, ref_alloc = colored_alloc(), colored_alloc()
+    live = hitting_set_duplication(
+        sets, live_alloc, coloring.unassigned, duplicable, random.Random(7)
+    )
+    ref = reference_hitting_set_duplication(
+        sets, ref_alloc, coloring.unassigned, duplicable, random.Random(7)
+    )
+    assert live_alloc.as_dict() == ref_alloc.as_dict()
+    assert live_alloc.history == ref_alloc.history
+    assert live.residual_combos == ref.residual_combos
+    assert verify_allocation(sets, live_alloc)

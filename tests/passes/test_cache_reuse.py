@@ -70,10 +70,10 @@ def test_changed_front_end_knob_invalidates_downstream():
 
 def test_cache_eviction_is_lru():
     cache = ArtifactCache(max_entries=2)
-    cache.put("a", {"x": 1})
-    cache.put("b", {"x": 2})
+    assert cache.put("a", {"x": 1}) == 0
+    assert cache.put("b", {"x": 2}) == 0
     assert cache.get("a") is not None  # refresh a
-    cache.put("c", {"x": 3})  # evicts b
+    assert cache.put("c", {"x": 3}) == 1  # evicts b
     assert "b" not in cache
     assert cache.get("a") is not None
     assert cache.get("c") is not None
@@ -81,6 +81,33 @@ def test_cache_eviction_is_lru():
     assert stats["entries"] == 2
     assert stats["hits"] == 3
     assert stats["misses"] == 0
+    assert stats["evictions"] == 1
+
+
+def test_cache_evictions_surface_in_tracer_events():
+    """A pass whose cache.put displaces LRU entries reports the count on
+    its "end" event (and so in --trace-json output)."""
+    # Tiny cache: every pass insertion evicts an earlier pass's entry.
+    cache = ArtifactCache(max_entries=1)
+    _, tracer = _run(PipelineOptions(), cache)
+    evicting = [
+        e
+        for e in tracer.events
+        if e.status == "end" and e.counts.get("cache_evictions")
+    ]
+    assert evicting, "expected at least one pass to report evictions"
+    assert all(e.counts["cache_evictions"] == 1 for e in evicting)
+    assert cache.stats()["evictions"] == len(evicting)
+
+    # A roomy cache evicts nothing and reports nothing.
+    cache = ArtifactCache()
+    _, tracer = _run(PipelineOptions(), cache)
+    assert not any(
+        e.counts.get("cache_evictions")
+        for e in tracer.events
+        if e.status == "end"
+    )
+    assert cache.stats()["evictions"] == 0
 
 
 def test_compile_source_shares_cache():
