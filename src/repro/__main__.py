@@ -7,6 +7,8 @@ Usage::
     python -m repro run PROGRAM.p [--input V ...]    # execute + Δ report
     python -m repro bench NAME                       # one paper benchmark
     python -m repro batch [NAME ...]                 # pooled corpus + cache
+    python -m repro serve [--port P ...]             # online compile service
+    python -m repro loadgen [--clients N ...]        # drive a running server
     python -m repro report                           # all tables/figures
 
 ``PROGRAM.p`` is mini-language source; ``NAME`` is one of the paper's
@@ -198,6 +200,70 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .server import ServerConfig, serve
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        job_timeout=args.job_timeout,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        batch_window=args.batch_window,
+        default_deadline=args.deadline,
+        cache_dir=args.cache_dir,
+    )
+
+    def announce(event: dict[str, object]) -> None:
+        # One JSON line per lifecycle event so harnesses (CI smoke,
+        # benchmarks/bench_server.py) can scrape the bound port and the
+        # drain summary.
+        print(json.dumps(event, sort_keys=True), flush=True)
+
+    summary = asyncio.run(
+        serve(config, announce=announce if args.announce else None)
+    )
+    if not args.announce:
+        print(
+            f"; drained: {summary['resolved']} resolved, "
+            f"{summary['abandoned']} abandoned, "
+            f"{summary['unanswered']} unanswered",
+            file=sys.stderr,
+        )
+    return 0 if summary["unanswered"] == 0 else 1
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .analysis.report import format_loadgen_report
+    from .server.loadgen import LoadgenConfig, run_load
+
+    config = LoadgenConfig(
+        clients=args.clients,
+        requests=args.requests,
+        dup_rate=args.dup_rate,
+        strategy=args.strategy,
+        deadline_ms=args.deadline * 1000.0,
+        seed=args.seed,
+        poison=not args.no_poison,
+    )
+    report = asyncio.run(run_load(args.host, args.port, config))
+    print(format_loadgen_report(report))
+    if args.json_path:
+        Path(args.json_path).write_text(
+            json.dumps(report, indent=2, sort_keys=True)
+        )
+        print(f"; load report written to {args.json_path}", file=sys.stderr)
+    checks = report.get("checks", {})
+    return 0 if all(checks.values()) else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from .analysis.report import full_report
 
@@ -278,6 +344,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-run serially and compare results")
     common(p_batch)
     p_batch.set_defaults(fn=cmd_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the asyncio compile service (JSON over TCP)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7070,
+                         help="0 picks an ephemeral port (see --announce)")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="BatchCompiler pool width (1 = in-thread)")
+    p_serve.add_argument("--job-timeout", type=float, default=120.0,
+                         help="per-job seconds inside the batch compiler")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="admission-queue bound (backpressure point)")
+    p_serve.add_argument("--max-batch", type=int, default=8,
+                         help="micro-batch size cap")
+    p_serve.add_argument("--batch-window", type=float, default=0.01,
+                         help="seconds to coalesce arrivals into a batch")
+    p_serve.add_argument("--deadline", type=float, default=60.0,
+                         help="default per-request deadline (seconds)")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="persist the allocation cache here")
+    p_serve.add_argument("--announce", action="store_true",
+                         help="print JSON lifecycle events (port, drain)")
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen", help="drive a running compile server with mixed load"
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=7070)
+    p_load.add_argument("--clients", type=int, default=8,
+                        help="concurrent client connections")
+    p_load.add_argument("--requests", type=int, default=64,
+                        help="total compile requests")
+    p_load.add_argument("--dup-rate", type=float, default=0.4,
+                        help="fraction of duplicate requests")
+    p_load.add_argument("--strategy", default="STOR1",
+                        choices=["STOR1", "STOR2", "STOR3"])
+    p_load.add_argument("--deadline", type=float, default=30.0,
+                        help="per-request deadline (seconds)")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--no-poison", action="store_true",
+                        help="skip the oversized/broken poison requests")
+    p_load.add_argument("--json", dest="json_path", default=None,
+                        help="write the load report JSON to this file")
+    p_load.set_defaults(fn=cmd_loadgen)
 
     p_report = sub.add_parser("report", help="regenerate every experiment")
     p_report.add_argument("--unroll", type=int, default=4)

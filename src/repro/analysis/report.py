@@ -236,6 +236,85 @@ def format_batch_report(report: "BatchReport") -> str:
     return "\n".join(lines)
 
 
+def format_server_stats(stats: dict[str, object]) -> str:
+    """Human-readable rendering of a ``stats`` endpoint snapshot
+    (:meth:`repro.server.CompileServer.stats`)."""
+
+    def block(name: str) -> dict[str, object]:
+        value = stats.get(name)
+        return value if isinstance(value, dict) else {}
+
+    requests, queue, cache = block("requests"), block("queue"), block("cache")
+    latency = block("latency")
+    total = latency.get("total", {})
+    if not isinstance(total, dict):
+        total = {}
+    lines = [
+        f"state={stats.get('state', '?')} "
+        f"uptime={float(stats.get('uptime_s', 0.0) or 0.0):.1f}s",
+        f"requests: {requests.get('requests', 0)} total, "
+        f"{requests.get('ok', 0)} ok, {requests.get('errors', 0)} error, "
+        f"{requests.get('overloaded', 0)} overloaded, "
+        f"{requests.get('timeouts', 0)} timeout",
+        f"queue: depth {queue.get('depth', 0)}/{queue.get('max_depth', 0)} "
+        f"(high water {queue.get('high_water', 0)}), "
+        f"{queue.get('shed', 0)} shed, {queue.get('attached', 0)} coalesced "
+        f"single-flight, {queue.get('abandoned', 0)} abandoned",
+        f"batches: {queue.get('batches', 0)} dispatched, "
+        f"mean size {float(queue.get('mean_batch_size', 0.0) or 0.0):.2f}, "
+        f"max {queue.get('max_batch_size', 0)}",
+        f"dedup: {requests.get('dedup_hits', 0)} attached waiters, "
+        f"{requests.get('strategy_executions', 0)} strategy executions, "
+        f"{requests.get('cache_hits', 0)} cache-served responses",
+        f"latency: p50 {float(total.get('p50', 0.0) or 0.0) * 1e3:.1f}ms "
+        f"p90 {float(total.get('p90', 0.0) or 0.0) * 1e3:.1f}ms "
+        f"p99 {float(total.get('p99', 0.0) or 0.0) * 1e3:.1f}ms",
+        f"cache: {cache.get('hits', 0)} hit / {cache.get('misses', 0)} miss"
+        f" / {cache.get('corrupt', 0)} quarantined "
+        f"({float(cache.get('hit_rate', 0.0) or 0.0):.0%})",
+    ]
+    return "\n".join(lines)
+
+
+def format_loadgen_report(report: dict[str, object]) -> str:
+    """Human-readable rendering of a load-generator run
+    (:func:`repro.server.loadgen.run_load`)."""
+
+    def block(name: str) -> dict[str, object]:
+        value = report.get(name)
+        return value if isinstance(value, dict) else {}
+
+    config, outcomes = block("config"), block("outcomes")
+    latency, client, checks = block("latency"), block("client"), block("checks")
+    lines = [
+        f"{config.get('requests', '?')} requests over "
+        f"{config.get('clients', '?')} clients "
+        f"(dup rate {float(config.get('dup_rate', 0.0) or 0.0):.0%}) in "
+        f"{float(report.get('wall_time', 0.0) or 0.0):.3f}s "
+        f"({float(report.get('throughput_rps', 0.0) or 0.0):.1f} req/s)",
+        "outcomes: " + ", ".join(
+            f"{status} {count}" for status, count in outcomes.items()
+        ),
+        f"latency: p50 {float(latency.get('p50', 0.0) or 0.0) * 1e3:.1f}ms "
+        f"p90 {float(latency.get('p90', 0.0) or 0.0) * 1e3:.1f}ms "
+        f"p99 {float(latency.get('p99', 0.0) or 0.0) * 1e3:.1f}ms "
+        f"max {float(latency.get('max', 0.0) or 0.0) * 1e3:.1f}ms",
+        f"client: {client.get('cache_hits', 0)} cache-hit responses, "
+        f"{client.get('dedup_hits', 0)} dedup-attached, "
+        f"{client.get('overload_retries', 0)} overload retries, "
+        f"{client.get('transport_failures', 0)} transport failures",
+        "checks: " + ", ".join(
+            f"{name}={'ok' if passed else 'FAIL'}"
+            for name, passed in checks.items()
+        ),
+    ]
+    server_stats = report.get("server_stats")
+    if isinstance(server_stats, dict) and server_stats:
+        lines.append("-- server --")
+        lines.append(format_server_stats(server_stats))
+    return "\n".join(lines)
+
+
 def main() -> None:  # pragma: no cover - exercised via CLI
     print(full_report())
 

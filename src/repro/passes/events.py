@@ -194,6 +194,57 @@ class Metrics:
         }
 
 
+class LatencyRecorder:
+    """Bounded reservoir of duration samples with percentile queries.
+
+    The compile server records per-request latencies here (queue wait,
+    execution, end-to-end); ``snapshot()`` is what the ``stats``
+    endpoint publishes.  The reservoir keeps the most recent
+    ``max_samples`` observations (a sliding window — old traffic ages
+    out), while ``count``/``total_time``/``max_seen`` cover the full
+    lifetime.  Percentiles use the nearest-rank method on the window.
+    """
+
+    __slots__ = ("_window", "count", "total_time", "max_seen")
+
+    def __init__(self, max_samples: int = 4096):
+        from collections import deque
+
+        self._window: deque[float] = deque(maxlen=max_samples)
+        self.count = 0
+        self.total_time = 0.0
+        self.max_seen = 0.0
+
+    def record(self, seconds: float) -> None:
+        self._window.append(seconds)
+        self.count += 1
+        self.total_time += seconds
+        if seconds > self.max_seen:
+            self.max_seen = seconds
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in 0..100) over the window."""
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = max(1, -(-len(ordered) * q // 100))  # ceil without math
+        return ordered[min(len(ordered), int(rank)) - 1]
+
+    @property
+    def mean(self) -> float:
+        return self.total_time / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max_seen,
+        }
+
+
 class MetricsTracer:
     """Adapts the pass-event stream onto a :class:`Metrics` collector.
 

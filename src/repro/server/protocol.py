@@ -1,0 +1,196 @@
+"""Wire protocol of the compile server: newline-delimited JSON over TCP.
+
+One request per line, one response line per request, in order::
+
+    {"id": 1, "op": "compile", "source": "program p; ...", "strategy":
+     "STOR1", "machine": {"num_fus": 4, "num_modules": 8},
+     "deadline_ms": 30000}\n
+
+    {"id": 1, "status": "ok", "result": {"key": "...", "singles": 7,
+     "multiples": 1, "total_copies": 9, "residual": 0, "cache_hit":
+     false, "dedup": false}, "server": {"queued_ms": 1.9,
+     "batch_size": 4}}\n
+
+Three operations exist:
+
+``compile``
+    Compile + storage-allocate one program.  The request body carries
+    the same knobs as a :class:`repro.service.BatchJob` (``source``,
+    ``machine``, ``strategy``, ``method``, ``unroll``,
+    ``constants_in_memory``, ``k``, ``seed``) plus a per-request
+    ``deadline_ms`` and ``include_allocation`` (return the full encoded
+    :class:`~repro.core.strategies.StorageResult`, not just the summary).
+``health``
+    Liveness probe; answered immediately, even while draining.
+``stats``
+    Full server statistics snapshot (queue, batches, dedup, latency
+    percentiles, cache counters).
+
+Response ``status`` values (:data:`STATUSES`):
+
+- ``ok`` — result attached;
+- ``error`` — malformed request, oversized source, unknown strategy, or
+  a compile/allocation failure (``error`` field has the message);
+- ``overloaded`` — the bounded admission queue is full; the request was
+  *not* accepted and the client should back off and retry
+  (``retry_after_ms`` is a hint);
+- ``timeout`` — the request's deadline expired before a result was
+  ready (the underlying work may still complete and warm the cache);
+- ``shutting-down`` — the server is draining and accepts no new work.
+
+Framing limits are explicit: a request line longer than
+:data:`MAX_LINE_BYTES` is a protocol error (the connection is closed
+after an error response), and a ``source`` longer than
+:data:`MAX_SOURCE_BYTES` is rejected per-request — an oversized/poison
+program costs one error response, never a crash or an unbounded buffer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from ..core.strategies import METHODS, STRATEGIES
+from ..liw.machine import MachineConfig
+from ..service.batch import BatchJob
+
+#: Hard cap on one request/response line (framing level).
+MAX_LINE_BYTES = 1 << 20
+#: Hard cap on the ``source`` field of a compile request.
+MAX_SOURCE_BYTES = 1 << 18
+
+PROTOCOL_VERSION = 1
+
+OPS = ("compile", "health", "stats")
+STATUSES = ("ok", "error", "overloaded", "timeout", "shutting-down")
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be parsed into a valid operation."""
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One decoded, validated client request."""
+
+    op: str
+    id: object = None
+    job: BatchJob | None = None  # compile only
+    deadline_ms: float | None = None
+    include_allocation: bool = False
+
+
+def encode_message(payload: dict[str, object]) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> dict[str, object]:
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        obj = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    return obj
+
+
+def machine_from_dict(data: object) -> MachineConfig:
+    """Build a MachineConfig from the optional ``machine`` field."""
+    if data is None:
+        return MachineConfig()
+    if not isinstance(data, dict):
+        raise ProtocolError("machine must be an object")
+    allowed = {"num_fus", "num_modules", "mem_ports", "delta"}
+    unknown = set(data) - allowed
+    if unknown:
+        raise ProtocolError(f"unknown machine fields: {sorted(unknown)}")
+    try:
+        return MachineConfig(**data)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad machine config: {exc}") from exc
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(message)
+
+
+def parse_request(obj: dict[str, object]) -> Request:
+    """Validate one decoded request object into a :class:`Request`.
+
+    Everything user-controlled is checked here, before any work is
+    queued, so a malformed request costs one error response."""
+    op = obj.get("op")
+    _require(op in OPS, f"op must be one of {OPS}, got {op!r}")
+    request_id = obj.get("id")
+    if op != "compile":
+        return Request(op=str(op), id=request_id)
+
+    source = obj.get("source")
+    _require(isinstance(source, str) and source.strip() != "",
+             "compile requires a non-empty 'source' string")
+    assert isinstance(source, str)
+    _require(
+        len(source.encode("utf-8", "ignore")) <= MAX_SOURCE_BYTES,
+        f"source exceeds {MAX_SOURCE_BYTES} bytes",
+    )
+
+    strategy = str(obj.get("strategy", "STOR1")).upper()
+    _require(strategy in STRATEGIES,
+             f"unknown strategy {strategy!r} (valid: {sorted(STRATEGIES)})")
+    method = str(obj.get("method", "hitting_set"))
+    _require(method in METHODS,
+             f"unknown method {method!r} (valid: {list(METHODS)})")
+
+    unroll = obj.get("unroll", 1)
+    _require(isinstance(unroll, int) and not isinstance(unroll, bool)
+             and 1 <= unroll <= 64, "unroll must be an int in 1..64")
+    seed = obj.get("seed", 0)
+    _require(isinstance(seed, int) and not isinstance(seed, bool),
+             "seed must be an int")
+    k = obj.get("k")
+    _require(k is None or (isinstance(k, int) and not isinstance(k, bool)
+                           and k >= 1), "k must be a positive int or null")
+
+    deadline_ms = obj.get("deadline_ms")
+    if deadline_ms is not None:
+        _require(
+            isinstance(deadline_ms, (int, float))
+            and not isinstance(deadline_ms, bool) and deadline_ms > 0,
+            "deadline_ms must be a positive number",
+        )
+
+    job = BatchJob(
+        name=str(obj.get("name", "request")),
+        source=source,
+        machine=machine_from_dict(obj.get("machine")),
+        strategy=strategy,
+        method=method,
+        unroll=unroll,
+        constants_in_memory=bool(obj.get("constants_in_memory", False)),
+        k=k,
+        seed=seed,
+    )
+    return Request(
+        op="compile",
+        id=request_id,
+        job=job,
+        deadline_ms=None if deadline_ms is None else float(deadline_ms),
+        include_allocation=bool(obj.get("include_allocation", False)),
+    )
+
+
+def response(
+    request_id: object, status: str, **fields: object
+) -> dict[str, object]:
+    assert status in STATUSES, status
+    out: dict[str, object] = {"id": request_id, "status": status}
+    out.update(fields)
+    return out
+
+
+def error_response(request_id: object, message: str) -> dict[str, object]:
+    return response(request_id, "error", error=message)

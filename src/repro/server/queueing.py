@@ -1,0 +1,268 @@
+"""Admission queue, single-flight deduplication, and micro-batching.
+
+The server's concurrency discipline lives here, decoupled from sockets
+so it is unit-testable with plain asyncio:
+
+- **Bounded admission** — at most ``max_depth`` *distinct* jobs may be
+  queued awaiting dispatch.  :meth:`AdmissionQueue.submit` returns
+  ``None`` when the queue is full; the server turns that into an
+  ``overloaded`` response immediately.  Nothing in the pipeline buffers
+  without bound.
+- **Single-flight dedup** — flights are keyed by the job's content
+  address (:meth:`repro.service.BatchJob.source_key`, the same index
+  key the batch compiler maps to the allocation-cache ``job_key``).  A
+  request identical to queued *or already-executing* work attaches to
+  the existing :class:`Flight` as an extra waiter instead of enqueuing
+  a duplicate: a thundering herd of one program costs one compilation.
+- **Micro-batching** — :meth:`AdmissionQueue.next_batch` coalesces the
+  queue into batches of up to ``max_batch`` flights, waiting up to
+  ``batch_window`` seconds after the first arrival so that near-
+  simultaneous requests share one dispatch to the
+  :class:`~repro.service.BatchCompiler` (which amortizes front-end
+  artifact reuse and pool start-up across the batch).
+- **Deadline abandonment** — a waiter whose deadline expires calls
+  :meth:`AdmissionQueue.abandon`; when the *last* waiter of a
+  still-undispatched flight gives up, the flight is cancelled and never
+  dispatched (counted, not silently dropped — the waiter already got a
+  ``timeout`` response).
+- **Drain** — :meth:`AdmissionQueue.close` stops admission;
+  ``next_batch`` keeps returning batches until the queue is empty and
+  then returns ``None``, so a draining server finishes everything it
+  accepted ("zero dropped accepted requests").
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+from ..service.batch import BatchJob, JobResult
+
+
+@dataclass(eq=False, slots=True)
+class Flight:
+    """One admitted unit of work and everyone waiting on it."""
+
+    key: str
+    job: BatchJob
+    future: asyncio.Future  # resolves to a JobResult
+    enqueued_at: float
+    waiters: int = 1
+    dispatched: bool = False
+    abandoned: bool = False
+    batch_size: int = 0  # size of the batch that dispatched it
+    queued_for: float = 0.0  # seconds spent queued before dispatch
+
+    @property
+    def coalesced(self) -> bool:
+        """Did single-flight dedup attach more than one waiter?"""
+        return self.waiters > 1
+
+
+@dataclass(slots=True)
+class QueueStats:
+    """Lifetime counters of one :class:`AdmissionQueue`."""
+
+    admitted: int = 0       # distinct flights accepted
+    attached: int = 0       # requests answered by an existing flight
+    shed: int = 0           # submissions rejected: queue full
+    rejected_draining: int = 0
+    abandoned: int = 0      # flights cancelled: every waiter timed out
+    resolved: int = 0       # flights answered with a result
+    batches: int = 0
+    batched_jobs: int = 0
+    max_batch_size: int = 0
+    last_batch_size: int = 0
+    high_water: int = 0     # deepest the queue ever got
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "admitted": self.admitted,
+            "attached": self.attached,
+            "shed": self.shed,
+            "rejected_draining": self.rejected_draining,
+            "abandoned": self.abandoned,
+            "resolved": self.resolved,
+            "batches": self.batches,
+            "batched_jobs": self.batched_jobs,
+            "max_batch_size": self.max_batch_size,
+            "last_batch_size": self.last_batch_size,
+            "mean_batch_size": (
+                self.batched_jobs / self.batches if self.batches else 0.0
+            ),
+            "high_water": self.high_water,
+        }
+
+
+class AdmissionQueue:
+    """Bounded FIFO of flights with single-flight dedup and batching.
+
+    Single-threaded by construction: every method runs on the event
+    loop, so no locks are needed.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        max_batch: int = 8,
+        batch_window: float = 0.01,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_depth < 1 or max_batch < 1:
+            raise ValueError("max_depth and max_batch must be >= 1")
+        self.max_depth = max_depth
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self._clock = clock
+        self._queue: deque[Flight] = deque()
+        #: key -> flight, from admission until resolution (covers both
+        #: queued and currently-executing work — late duplicates of an
+        #: executing job still attach).
+        self._inflight: dict[str, Flight] = {}
+        self._arrival = asyncio.Event()
+        self._draining = False
+        self.stats = QueueStats()
+
+    # -- admission -----------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Distinct flights queued and not yet dispatched."""
+        return len(self._queue)
+
+    @property
+    def inflight(self) -> int:
+        """Distinct flights admitted and not yet resolved."""
+        return len(self._inflight)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def submit(self, job: BatchJob) -> Flight | None:
+        """Admit ``job`` (or attach to its in-flight twin).
+
+        Returns ``None`` when the bounded queue is full — the caller
+        must answer ``overloaded``.  Raises :class:`RuntimeError` if
+        draining (callers check :attr:`draining` first; the raise
+        guards against races).
+        """
+        key = job.source_key()
+        existing = self._inflight.get(key)
+        if existing is not None and not existing.abandoned:
+            existing.waiters += 1
+            self.stats.attached += 1
+            return existing
+        if self._draining:
+            self.stats.rejected_draining += 1
+            raise RuntimeError("queue is draining")
+        if len(self._queue) >= self.max_depth:
+            self.stats.shed += 1
+            return None
+        flight = Flight(
+            key=key,
+            job=job,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=self._clock(),
+        )
+        self._queue.append(flight)
+        self._inflight[key] = flight
+        self.stats.admitted += 1
+        self.stats.high_water = max(self.stats.high_water, len(self._queue))
+        self._arrival.set()
+        return flight
+
+    def abandon(self, flight: Flight) -> None:
+        """One waiter gave up (deadline expired, connection lost).
+
+        The flight itself is cancelled only if it has not been
+        dispatched and nobody else is waiting; executing work always
+        runs to completion (its result still warms the cache)."""
+        flight.waiters = max(0, flight.waiters - 1)
+        if flight.waiters == 0 and not flight.dispatched:
+            flight.abandoned = True
+            self._inflight.pop(flight.key, None)
+            try:
+                self._queue.remove(flight)
+            except ValueError:
+                pass
+            self.stats.abandoned += 1
+
+    # -- batching ------------------------------------------------------------
+
+    async def next_batch(self) -> list[Flight] | None:
+        """Wait for work and return the next micro-batch, oldest first.
+
+        Coalesces for up to ``batch_window`` seconds after the first
+        queued flight (unless the batch is already full or the queue is
+        draining — drain flushes immediately).  Returns ``None`` once
+        draining *and* empty: the dispatch loop's exit signal.
+        """
+        while True:
+            if not self._queue:
+                if self._draining:
+                    return None
+                self._arrival.clear()
+                await self._arrival.wait()
+                continue
+            if (
+                len(self._queue) < self.max_batch
+                and self.batch_window > 0
+                and not self._draining
+            ):
+                await asyncio.sleep(self.batch_window)
+            batch: list[Flight] = []
+            now = self._clock()
+            while self._queue and len(batch) < self.max_batch:
+                flight = self._queue.popleft()
+                if flight.abandoned:
+                    continue
+                flight.dispatched = True
+                flight.queued_for = now - flight.enqueued_at
+                batch.append(flight)
+            if not batch:
+                continue
+            for flight in batch:
+                flight.batch_size = len(batch)
+            self.stats.batches += 1
+            self.stats.batched_jobs += len(batch)
+            self.stats.last_batch_size = len(batch)
+            self.stats.max_batch_size = max(
+                self.stats.max_batch_size, len(batch)
+            )
+            return batch
+
+    def resolve(self, flight: Flight, result: JobResult) -> None:
+        """Publish ``result`` to every waiter and retire the flight."""
+        self._inflight.pop(flight.key, None)
+        if not flight.future.done():
+            flight.future.set_result(result)
+        self.stats.resolved += 1
+
+    # -- drain ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admission; queued flights still dispatch and resolve."""
+        self._draining = True
+        self._arrival.set()  # wake next_batch so it can flush / exit
+
+    def unanswered(self) -> int:
+        """Admitted flights that neither resolved nor were abandoned —
+        must be zero after a completed drain."""
+        return (
+            self.stats.admitted - self.stats.resolved - self.stats.abandoned
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "depth": self.depth,
+            "inflight": self.inflight,
+            "max_depth": self.max_depth,
+            "max_batch": self.max_batch,
+            "batch_window": self.batch_window,
+            "draining": self._draining,
+            **self.stats.as_dict(),
+        }

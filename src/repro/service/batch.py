@@ -42,7 +42,6 @@ from ..pipeline import compile_source
 from .cache import (
     AllocationCache,
     _canonical,
-    decode_storage_result,
     job_key,
     program_fingerprint,
 )
@@ -343,8 +342,10 @@ class BatchCompiler:
         entry = self.cache.peek(key)
         if entry is None:
             return None  # not counted: the job re-runs and counts there
+        storage = self.cache.decode(key, entry)
+        if storage is None:
+            return None  # quarantined schema mismatch -> recompute
         self.cache.hits += 1
-        storage = decode_storage_result(entry)
         return JobResult(
             job, key, storage, True, "cache", time.perf_counter() - t0,
             metrics={"stages": [], "counters": {"cache_hits": 1},

@@ -48,6 +48,7 @@ from ..ir.rename import RenamedProgram
 from ..liw.machine import MachineConfig
 from ..liw.schedule import Schedule
 from ..passes.fingerprint import canonical_bytes as _canonical
+from ..passes.fingerprint import encode_value as _encode_value
 
 
 def program_fingerprint(schedule: Schedule, renamed: RenamedProgram) -> str:
@@ -82,9 +83,23 @@ def job_key(
         "strategy": strategy.upper(),
         "method": method,
         "k": machine.k if k is None else k,
-        "knobs": {key: repr(value) for key, value in knobs.items()},
+        "knobs": {key: _knob_repr(value) for key, value in knobs.items()},
     }
     return hashlib.sha256(_canonical(payload)).hexdigest()
+
+
+def _knob_repr(value: object) -> str:
+    """Canonical rendering of one strategy knob.
+
+    Knobs hash through :func:`repro.passes.fingerprint.canonical_bytes`
+    (after :func:`~repro.passes.fingerprint.encode_value`), not ``repr``:
+    ``repr`` made equal-valued knobs of different container types —
+    ``(1, 2)`` vs ``[1, 2]`` — produce different keys, i.e. spurious
+    cache misses.  For scalar knobs (ints, floats) the canonical JSON
+    text coincides with ``repr``, so keys that were already correct are
+    unchanged (pinned by ``tests/service/test_cache.py``).
+    """
+    return _canonical(_encode_value(value)).decode("utf-8")
 
 
 # --------------------------------------------------------------------------
@@ -127,6 +142,10 @@ class AllocationCache:
             self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: entries that were valid JSON but not a decodable StorageResult
+        #: (schema drift, truncated history, foreign files) — each one is
+        #: quarantined on disk and counted as a miss.
+        self.corrupt = 0
 
     def _path(self, key: str) -> Path:
         assert self.directory is not None
@@ -154,26 +173,62 @@ class AllocationCache:
                 return entry
         return None
 
+    def decode(self, key: str, entry: dict[str, object]) -> StorageResult | None:
+        """Decode one peeked entry, quarantining it on schema mismatch.
+
+        ``peek`` happily returns anything that parses as JSON; a disk
+        entry written by an older schema (or a foreign ``<key>.json``
+        dropped into the cache directory) would crash
+        :func:`decode_storage_result` with ``KeyError``/``TypeError``.
+        Such entries are treated as misses: the in-memory copy is
+        dropped, the backing file is renamed to ``<key>.json.corrupt``
+        (so it never poisons another lookup but stays inspectable), and
+        the ``corrupt`` counter records the event.
+        """
+        try:
+            return decode_storage_result(entry)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            self.corrupt += 1
+            self._memory.pop(key, None)
+            if self.directory is not None:
+                self._quarantine(self._path(key))
+            return None
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            if path.is_file():
+                path.replace(path.with_name(path.name + ".corrupt"))
+        except OSError:
+            pass  # a concurrent reader may have quarantined it already
+
     def get(self, key: str) -> StorageResult | None:
         entry = self.peek(key)
         if entry is None:
             self.misses += 1
             return None
+        result = self.decode(key, entry)
+        if result is None:
+            self.misses += 1
+            return None
         self.hits += 1
-        return decode_storage_result(entry)
+        return result
 
     def put(self, key: str, result: StorageResult) -> None:
         entry = encode_storage_result(result)
         self._memory[key] = entry
         if self.directory is not None:
             path = self._path(key)
-            tmp = path.with_suffix(".tmp")
+            # The temp name must be writer-unique: a shared `<key>.tmp`
+            # lets two processes racing on one key clobber each other's
+            # half-written file and lose the os.replace (observed as
+            # FileNotFoundError under tests/service/test_cache_concurrency).
+            tmp = path.with_name(f"{key}.{os.getpid()}.tmp")
             tmp.write_text(json.dumps(entry, sort_keys=True))
             os.replace(tmp, path)
 
     def clear(self, *, disk: bool = False) -> None:
         self._memory.clear()
-        self.hits = self.misses = 0
+        self.hits = self.misses = self.corrupt = 0
         if disk and self.directory is not None:
             for path in self.directory.glob("*.json"):
                 path.unlink(missing_ok=True)
@@ -184,5 +239,6 @@ class AllocationCache:
             "entries": len(self._memory),
             "hits": self.hits,
             "misses": self.misses,
+            "corrupt": self.corrupt,
             "hit_rate": self.hits / lookups if lookups else 0.0,
         }

@@ -1,0 +1,75 @@
+"""Load-generator workload construction and a small end-to-end run."""
+
+import asyncio
+
+from repro.liw.machine import MachineConfig
+from repro.pipeline import compile_source
+from repro.server import CompileServer, ServerConfig
+from repro.server.loadgen import (
+    LoadgenConfig,
+    build_workload,
+    make_program,
+    run_load,
+)
+from repro.service.cache import program_fingerprint
+
+
+def test_make_program_varies_the_allocation_problem():
+    """Different term counts must give different content fingerprints —
+    otherwise the 'unique' share of the workload would all hit one
+    cache entry and the benchmark would measure nothing."""
+    fingerprints = set()
+    for terms in (2, 3, 4, 5):
+        program = compile_source(make_program(terms, terms), MachineConfig())
+        fingerprints.add(
+            program_fingerprint(program.schedule, program.renamed)
+        )
+    assert len(fingerprints) == 4
+
+
+def test_build_workload_is_deterministic_and_mixed():
+    config = LoadgenConfig(requests=50, dup_rate=0.4, seed=3)
+    first = build_workload(config)
+    second = build_workload(config)
+    assert first == second  # same seed, same workload
+    assert len(first) == 50
+    kinds = [spec["kind"] for spec in first]
+    assert kinds.count("poison-big") == 1
+    assert kinds.count("poison-bad") == 1
+    dup_share = kinds.count("dup") / 48
+    assert 0.2 <= dup_share <= 0.6  # stochastic, but near dup_rate
+    assert build_workload(LoadgenConfig(requests=50, seed=4)) != first
+
+
+def test_build_workload_without_poison():
+    specs = build_workload(LoadgenConfig(requests=10, poison=False))
+    assert len(specs) == 10
+    assert all(spec["kind"] in ("dup", "unique") for spec in specs)
+
+
+def test_run_load_against_live_server():
+    async def main():
+        server = CompileServer(ServerConfig(
+            port=0, max_queue=16, max_batch=4, batch_window=0.005
+        ))
+        await server.start()
+        host, port = server.address
+        report = await run_load(host, port, LoadgenConfig(
+            clients=4, requests=16, dup_rate=0.5, dup_pool=2, seed=1
+        ))
+        server.begin_drain()
+        await server.wait_drained()
+        await server.aclose()
+
+        outcomes = report["outcomes"]
+        assert outcomes.get("ok", 0) == 14  # 16 minus the two poisons
+        assert outcomes.get("error", 0) == 2
+        assert report["checks"]["stayed_up"]
+        assert report["checks"]["shed_not_timeout"]
+        assert report["checks"]["dedup_effective"]
+        assert report["latency"]["count"] == 16
+        executions = report["server_stats"]["requests"]["strategy_executions"]
+        assert 0 < executions < outcomes["ok"]
+        assert server.drain_summary()["unanswered"] == 0
+
+    asyncio.run(main())

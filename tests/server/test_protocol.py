@@ -1,0 +1,138 @@
+"""Wire-protocol framing and request validation."""
+
+import json
+
+import pytest
+
+from repro.server.protocol import (
+    MAX_SOURCE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    machine_from_dict,
+    parse_request,
+    response,
+)
+
+GOOD_SOURCE = "program p; var x: int; begin x := 1; write(x) end."
+
+
+def test_encode_decode_round_trip():
+    payload = {"op": "health", "id": 7, "nested": {"a": [1, 2]}}
+    line = encode_message(payload)
+    assert line.endswith(b"\n")
+    assert b"\n" not in line[:-1]
+    assert decode_message(line[:-1]) == payload
+    assert decode_message(line) == payload  # trailing newline tolerated
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [b"{not json", b"[1, 2, 3]", b'"just a string"', b"42"],
+)
+def test_decode_rejects_non_object_payloads(raw):
+    with pytest.raises(ProtocolError):
+        decode_message(raw)
+
+
+def test_parse_health_and_stats():
+    assert parse_request({"op": "health", "id": 3}).op == "health"
+    req = parse_request({"op": "stats"})
+    assert req.op == "stats" and req.id is None and req.job is None
+
+
+def test_parse_compile_defaults():
+    req = parse_request({"op": "compile", "source": GOOD_SOURCE, "id": "a1"})
+    assert req.op == "compile" and req.id == "a1"
+    job = req.job
+    assert job is not None
+    assert job.strategy == "STOR1"
+    assert job.method == "hitting_set"
+    assert job.unroll == 1 and job.seed == 0 and job.k is None
+    assert job.machine.num_fus == 4 and job.machine.num_modules == 8
+    assert req.deadline_ms is None
+    assert req.include_allocation is False
+
+
+def test_parse_compile_full():
+    req = parse_request({
+        "op": "compile",
+        "source": GOOD_SOURCE,
+        "name": "demo",
+        "strategy": "stor2",
+        "method": "backtrack",
+        "unroll": 4,
+        "constants_in_memory": True,
+        "k": 4,
+        "seed": 9,
+        "machine": {"num_fus": 2, "num_modules": 4, "delta": 2.0},
+        "deadline_ms": 1500,
+        "include_allocation": True,
+    })
+    job = req.job
+    assert job is not None
+    assert job.strategy == "STOR2"  # normalized
+    assert job.method == "backtrack"
+    assert (job.unroll, job.k, job.seed) == (4, 4, 9)
+    assert job.constants_in_memory is True
+    assert job.machine.num_modules == 4 and job.machine.delta == 2.0
+    assert req.deadline_ms == 1500.0
+    assert req.include_allocation is True
+
+
+@pytest.mark.parametrize(
+    "obj,fragment",
+    [
+        ({}, "op"),
+        ({"op": "nope"}, "op"),
+        ({"op": "compile"}, "source"),
+        ({"op": "compile", "source": ""}, "source"),
+        ({"op": "compile", "source": "   "}, "source"),
+        ({"op": "compile", "source": 42}, "source"),
+        ({"op": "compile", "source": GOOD_SOURCE, "strategy": "STOR9"},
+         "strategy"),
+        ({"op": "compile", "source": GOOD_SOURCE, "method": "magic"},
+         "method"),
+        ({"op": "compile", "source": GOOD_SOURCE, "unroll": 0}, "unroll"),
+        ({"op": "compile", "source": GOOD_SOURCE, "unroll": True}, "unroll"),
+        ({"op": "compile", "source": GOOD_SOURCE, "seed": "x"}, "seed"),
+        ({"op": "compile", "source": GOOD_SOURCE, "k": 0}, "k"),
+        ({"op": "compile", "source": GOOD_SOURCE, "deadline_ms": -1},
+         "deadline_ms"),
+        ({"op": "compile", "source": GOOD_SOURCE, "deadline_ms": "soon"},
+         "deadline_ms"),
+        ({"op": "compile", "source": GOOD_SOURCE,
+          "machine": {"cores": 4}}, "machine"),
+        ({"op": "compile", "source": GOOD_SOURCE,
+          "machine": {"num_modules": 0}}, "machine"),
+        ({"op": "compile", "source": GOOD_SOURCE, "machine": "big"},
+         "machine"),
+    ],
+)
+def test_parse_rejects_invalid_requests(obj, fragment):
+    with pytest.raises(ProtocolError) as err:
+        parse_request(obj)
+    assert fragment in str(err.value)
+
+
+def test_oversized_source_rejected_per_request():
+    big = GOOD_SOURCE + " " * (MAX_SOURCE_BYTES + 1)
+    with pytest.raises(ProtocolError) as err:
+        parse_request({"op": "compile", "source": big})
+    assert "exceeds" in str(err.value)
+
+
+def test_machine_defaults_to_paper_machine():
+    machine = machine_from_dict(None)
+    assert (machine.num_fus, machine.num_modules) == (4, 8)
+
+
+def test_response_builders_are_jsonable():
+    ok = response("id1", "ok", result={"singles": 3})
+    assert ok["status"] == "ok" and ok["id"] == "id1"
+    err = error_response(None, "boom")
+    assert err["status"] == "error" and err["error"] == "boom"
+    json.dumps([ok, err])
+    with pytest.raises(AssertionError):
+        response(1, "not-a-status")

@@ -1,0 +1,178 @@
+"""AdmissionQueue: bounded admission, single-flight, batching, drain."""
+
+import asyncio
+
+import pytest
+
+from repro.server.queueing import AdmissionQueue
+from repro.service.batch import BatchJob, JobResult
+
+
+def _job(tag: int) -> BatchJob:
+    return BatchJob(f"j{tag}", f"program p{tag}; begin write({tag}) end.")
+
+
+def _result(job: BatchJob) -> JobResult:
+    return JobResult(job, "key", None, False, "serial", 0.0, error="stub")
+
+
+def test_bounded_admission_sheds_when_full():
+    async def main():
+        queue = AdmissionQueue(max_depth=2, batch_window=0)
+        assert queue.submit(_job(1)) is not None
+        assert queue.submit(_job(2)) is not None
+        assert queue.submit(_job(3)) is None  # full -> shed
+        assert queue.depth == 2
+        assert queue.stats.shed == 1
+        assert queue.stats.admitted == 2
+
+    asyncio.run(main())
+
+
+def test_single_flight_attaches_identical_jobs():
+    async def main():
+        queue = AdmissionQueue(max_depth=1, batch_window=0)
+        first = queue.submit(_job(1))
+        assert first is not None
+        # An identical job attaches even though the queue is full.
+        again = queue.submit(_job(1))
+        assert again is first
+        assert first.waiters == 2 and first.coalesced
+        assert queue.stats.attached == 1 and queue.stats.shed == 0
+        assert queue.depth == 1  # still one distinct flight
+
+        # ...and still attaches after dispatch, while executing.
+        batch = await queue.next_batch()
+        assert batch == [first]
+        late = queue.submit(_job(1))
+        assert late is first and first.waiters == 3
+
+        # After resolution a new identical job is a fresh flight.
+        queue.resolve(first, _result(first.job))
+        fresh = queue.submit(_job(1))
+        assert fresh is not None and fresh is not first
+
+    asyncio.run(main())
+
+
+def test_micro_batch_coalesces_up_to_max_batch():
+    async def main():
+        queue = AdmissionQueue(max_depth=16, max_batch=3, batch_window=0.01)
+        flights = [queue.submit(_job(i)) for i in range(5)]
+        assert all(f is not None for f in flights)
+        first = await queue.next_batch()
+        second = await queue.next_batch()
+        assert [f.key for f in first] == [f.key for f in flights[:3]]
+        assert [f.key for f in second] == [f.key for f in flights[3:]]
+        assert all(f.batch_size == 3 for f in first)
+        assert all(f.batch_size == 2 for f in second)
+        assert queue.stats.batches == 2
+        assert queue.stats.max_batch_size == 3
+        assert queue.stats.last_batch_size == 2
+
+    asyncio.run(main())
+
+
+def test_batch_window_waits_for_near_simultaneous_arrivals():
+    async def main():
+        queue = AdmissionQueue(max_depth=16, max_batch=8, batch_window=0.05)
+        queue.submit(_job(1))
+
+        async def late_arrival():
+            await asyncio.sleep(0.01)
+            queue.submit(_job(2))
+
+        task = asyncio.create_task(late_arrival())
+        batch = await queue.next_batch()
+        await task
+        # The second job arrived inside the window and shares the batch.
+        assert len(batch) == 2
+
+    asyncio.run(main())
+
+
+def test_abandon_last_waiter_cancels_undispatched_flight():
+    async def main():
+        queue = AdmissionQueue(max_depth=4, batch_window=0)
+        flight = queue.submit(_job(1))
+        other = queue.submit(_job(2))
+        queue.submit(_job(1))  # second waiter
+        queue.abandon(flight)  # first waiter gives up
+        assert not flight.abandoned  # one waiter remains
+        queue.abandon(flight)  # last waiter gives up
+        assert flight.abandoned
+        assert queue.stats.abandoned == 1
+        batch = await queue.next_batch()
+        assert batch == [other]  # the cancelled flight never dispatches
+
+    asyncio.run(main())
+
+
+def test_abandon_after_dispatch_lets_work_complete():
+    async def main():
+        queue = AdmissionQueue(max_depth=4, batch_window=0)
+        flight = queue.submit(_job(1))
+        batch = await queue.next_batch()
+        assert batch == [flight]
+        queue.abandon(flight)
+        assert not flight.abandoned  # dispatched work runs to completion
+        queue.resolve(flight, _result(flight.job))
+        assert queue.stats.resolved == 1
+        assert queue.unanswered() == 0
+
+    asyncio.run(main())
+
+
+def test_drain_flushes_queue_then_signals_none():
+    async def main():
+        queue = AdmissionQueue(max_depth=8, max_batch=2, batch_window=0.5)
+        queue.submit(_job(1))
+        queue.submit(_job(2))
+        queue.submit(_job(3))
+        queue.close()
+        with pytest.raises(RuntimeError):
+            queue.submit(_job(4))  # no admission while draining
+        assert queue.stats.rejected_draining == 1
+        # Draining ignores the batch window: flushes immediately.
+        first = await asyncio.wait_for(queue.next_batch(), timeout=0.2)
+        second = await asyncio.wait_for(queue.next_batch(), timeout=0.2)
+        assert len(first) == 2 and len(second) == 1
+        assert await queue.next_batch() is None  # drained
+        for flight in first + second:
+            queue.resolve(flight, _result(flight.job))
+        assert queue.unanswered() == 0
+
+    asyncio.run(main())
+
+
+def test_next_batch_wakes_on_arrival():
+    async def main():
+        queue = AdmissionQueue(max_depth=4, batch_window=0)
+        waiter = asyncio.create_task(queue.next_batch())
+        await asyncio.sleep(0.01)
+        assert not waiter.done()
+        queue.submit(_job(1))
+        batch = await asyncio.wait_for(waiter, timeout=1.0)
+        assert len(batch) == 1
+
+    asyncio.run(main())
+
+
+def test_resolve_publishes_to_all_waiters():
+    async def main():
+        queue = AdmissionQueue(max_depth=4, batch_window=0)
+        flight = queue.submit(_job(1))
+        queue.submit(_job(1))
+        result = _result(flight.job)
+        await queue.next_batch()
+        queue.resolve(flight, result)
+        assert await flight.future is result  # both waiters see one object
+
+    asyncio.run(main())
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        AdmissionQueue(max_depth=0)
+    with pytest.raises(ValueError):
+        AdmissionQueue(max_batch=0)

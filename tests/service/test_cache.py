@@ -74,6 +74,45 @@ def test_job_key_separates_strategy_knobs():
     )
 
 
+def test_job_key_canonicalizes_knob_container_types():
+    """Equal-valued knobs of different container types share a key:
+    the old ``repr``-based rendering split ``(1, 2)`` from ``[1, 2]``
+    (spurious cache misses for callers passing tuples vs lists)."""
+    fp = "f" * 64
+    machine = MachineConfig()
+    assert job_key(fp, machine, "STOR1", groups=(1, 2)) == job_key(
+        fp, machine, "STOR1", groups=[1, 2]
+    )
+    # Still value-sensitive: different contents differ.
+    assert job_key(fp, machine, "STOR1", groups=[1, 2]) != job_key(
+        fp, machine, "STOR1", groups=[2, 1]
+    )
+    # Nested containers canonicalize too.
+    assert job_key(fp, machine, "STOR1", plan=((1,), (2, 3))) == job_key(
+        fp, machine, "STOR1", plan=[[1], [2, 3]]
+    )
+
+
+def test_job_key_stability_pins_previously_correct_keys():
+    """Switching knob rendering from ``repr`` to canonical JSON must not
+    move keys that were already correct — for scalar knobs the two
+    renderings coincide.  These digests were produced by the pre-change
+    implementation; existing disk caches keyed by them stay warm."""
+    fp = "f" * 64
+    machine = MachineConfig()
+    pinned = {
+        (): "c07176b7ae839125fefff911341758e76dcddac5f48e3249f7103d6b9ab476a7",
+        (("seed", 0),): (
+            "c0fe412806bf35782c98141846341eae85bec999ef4a2b9abbf1beec6a3156d3"
+        ),
+        (("seed", 3),): (
+            "7f184ef2f285807cff8b3170bfd982b5664b94a254a2d69f84a3e4fe3296ea4d"
+        ),
+    }
+    for knobs, expected in pinned.items():
+        assert job_key(fp, machine, "STOR1", **dict(knobs)) == expected
+
+
 def test_key_stable_across_processes_and_hash_seeds():
     """The content key must not depend on PYTHONHASHSEED or process
     identity — it addresses a cache shared between pool workers and
@@ -165,3 +204,45 @@ def test_corrupt_disk_entry_is_a_miss(tmp_path):
     (tmp_path / "badkey.json").write_text("{not json")
     assert cache.get("badkey") is None
     assert cache.misses == 1
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        '{"strategy": "STOR1"}',            # missing k/history/residual
+        '{"k": 8, "history": "oops", "residual": [], "strategy": "S"}',
+        '[1, 2, 3]',                        # valid JSON, wrong shape
+        '{"k": "eight", "history": [], "residual": [], "strategy": "S"}',
+    ],
+)
+def test_schema_mismatched_entry_is_quarantined(tmp_path, payload):
+    """Valid-JSON-but-wrong-schema disk entries (old schema versions,
+    foreign files) must read as misses, be renamed out of the way, and
+    be counted in the ``corrupt`` stat — not crash ``get``."""
+    cache = AllocationCache(tmp_path)
+    (tmp_path / "stale.json").write_text(payload)
+    assert cache.get("stale") is None
+    assert (cache.misses, cache.corrupt) == (1, 1)
+    assert not (tmp_path / "stale.json").exists()
+    assert (tmp_path / "stale.json.corrupt").is_file()
+    assert cache.stats()["corrupt"] == 1
+    # The quarantined file never poisons a later lookup.
+    assert cache.get("stale") is None
+    assert cache.corrupt == 1
+
+    # A fresh write under the same key works and wins thereafter.
+    cache.put("stale", _storage())
+    assert cache.get("stale") is not None
+
+
+def test_quarantined_memory_entry_is_dropped(tmp_path):
+    """Schema mismatch caught on the in-memory copy also quarantines the
+    backing file and evicts the bad dict."""
+    cache = AllocationCache(tmp_path)
+    path = tmp_path / "mem.json"
+    path.write_text('{"history": []}')
+    assert cache.peek("mem") is not None      # cached in memory, no decode
+    assert cache.get("mem") is None           # decode fails -> quarantine
+    assert cache.corrupt == 1
+    assert "mem" not in cache._memory
+    assert (tmp_path / "mem.json.corrupt").is_file()
