@@ -216,6 +216,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window,
         default_deadline=args.deadline,
         cache_dir=args.cache_dir,
+        adaptive=args.adaptive,
+        hot_threshold=args.hot_threshold,
+        upgrade_budget=args.upgrade_budget,
     )
 
     def announce(event: dict[str, object]) -> None:
@@ -252,6 +255,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline * 1000.0,
         seed=args.seed,
         poison=not args.no_poison,
+        num_modules=args.num_modules,
     )
     report = asyncio.run(run_load(args.host, args.port, config))
     print(format_loadgen_report(report))
@@ -367,6 +371,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persist the allocation cache here")
     p_serve.add_argument("--announce", action="store_true",
                          help="print JSON lifecycle events (port, drain)")
+    p_serve.add_argument("--adaptive", action="store_true",
+                         help="background-upgrade hot programs with the "
+                              "exact/profiled allocators")
+    p_serve.add_argument("--hot-threshold", type=int, default=3,
+                         help="served count before a key is upgraded")
+    p_serve.add_argument("--upgrade-budget", type=float, default=5.0,
+                         help="per-upgrade CPU budget (seconds)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_load = sub.add_parser(
@@ -387,6 +398,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--seed", type=int, default=0)
     p_load.add_argument("--no-poison", action="store_true",
                         help="skip the oversized/broken poison requests")
+    p_load.add_argument("--num-modules", type=int, default=None,
+                        help="request this many memory modules per job")
     p_load.add_argument("--json", dest="json_path", default=None,
                         help="write the load report JSON to this file")
     p_load.set_defaults(fn=cmd_loadgen)

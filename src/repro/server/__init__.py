@@ -20,6 +20,11 @@ Modules:
 ``repro.server.server``
     :class:`CompileServer` + :func:`serve` — the TCP service, deadline
     handling, dispatch loop, ``health``/``stats`` endpoints.
+``repro.server.adaptive``
+    :class:`UpgradeEngine` — tiered adaptive recompilation: hot
+    ``job_key`` s are background-upgraded with the exact solver and
+    profile-weighted allocators, verified, and atomically swapped into
+    the allocation cache.
 ``repro.server.client``
     :class:`ServerClient` — retries, exponential backoff with jitter,
     overload-aware request policy.
@@ -31,6 +36,7 @@ See ``docs/server.md`` for the protocol, backpressure semantics, and
 the ops runbook.
 """
 
+from .adaptive import AdaptiveConfig, UpgradeEngine, UpgradeOutcome
 from .client import ServerClient, TransportError
 from .loadgen import LoadgenConfig, run_load
 from .protocol import (
@@ -40,9 +46,10 @@ from .protocol import (
     Request,
 )
 from .queueing import AdmissionQueue, Flight
-from .server import CompileServer, ServerConfig, serve
+from .server import CompileServer, ServerConfig, ServerCounters, serve
 
 __all__ = [
+    "AdaptiveConfig",
     "AdmissionQueue",
     "CompileServer",
     "Flight",
@@ -53,7 +60,10 @@ __all__ = [
     "Request",
     "ServerClient",
     "ServerConfig",
+    "ServerCounters",
     "TransportError",
+    "UpgradeEngine",
+    "UpgradeOutcome",
     "run_load",
     "serve",
 ]

@@ -43,6 +43,7 @@ from ..passes.events import LatencyRecorder
 from ..service.batch import BatchCompiler, BatchJob, JobResult
 from ..service.cache import AllocationCache
 from . import protocol
+from .adaptive import AdaptiveConfig, UpgradeEngine, UpgradeOutcome
 from .protocol import ProtocolError, Request
 from .queueing import AdmissionQueue, Flight
 
@@ -68,11 +69,18 @@ class ServerConfig:
     cache_dir: str | None = None
     #: backoff hint attached to `overloaded` responses
     retry_after_ms: float = 50.0
+    #: enable the background adaptive-recompilation lane
+    #: (:mod:`repro.server.adaptive`)
+    adaptive: bool = False
+    #: waiter-weighted served count before a job_key is upgrade-eligible
+    hot_threshold: int = 3
+    #: per-upgrade CPU budget in seconds
+    upgrade_budget: float = 5.0
 
 
 @dataclass(slots=True)
-class _Counters:
-    """Request-outcome counters for ``stats``."""
+class ServerCounters:
+    """Request-outcome and background-work counters for ``stats``."""
 
     requests: int = 0
     ok: int = 0
@@ -88,6 +96,10 @@ class _Counters:
     strategy_executions: int = 0
     connections: int = 0
     oversized_lines: int = 0
+    upgrades_attempted: int = 0
+    upgrades_improved: int = 0
+    upgrades_rejected: int = 0
+    upgrades_failed: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -105,6 +117,10 @@ class _Counters:
             "strategy_executions": self.strategy_executions,
             "connections": self.connections,
             "oversized_lines": self.oversized_lines,
+            "upgrades_attempted": self.upgrades_attempted,
+            "upgrades_improved": self.upgrades_improved,
+            "upgrades_rejected": self.upgrades_rejected,
+            "upgrades_failed": self.upgrades_failed,
         }
 
 
@@ -141,8 +157,18 @@ class CompileServer:
             max_batch=self.config.max_batch,
             batch_window=self.config.batch_window,
         )
-        self.counters = _Counters()
+        self.counters = ServerCounters()
         self.latency = _Latencies()
+        self.upgrades: UpgradeEngine | None = None
+        if self.config.adaptive:
+            self.upgrades = UpgradeEngine(
+                self.compiler.cache,
+                AdaptiveConfig(
+                    hot_threshold=self.config.hot_threshold,
+                    budget_s=self.config.upgrade_budget,
+                ),
+                on_outcome=self._absorb_upgrade,
+            )
         self._stage_totals: dict[str, float] = {}
         self._metric_counters: dict[str, float] = {}
         self._server: asyncio.AbstractServer | None = None
@@ -178,6 +204,8 @@ class CompileServer:
         self._dispatch_task = asyncio.create_task(
             self._dispatch_loop(), name="repro-dispatch-loop"
         )
+        if self.upgrades is not None:
+            self.upgrades.start()
 
     def install_signal_handlers(self) -> None:
         loop = asyncio.get_running_loop()
@@ -209,6 +237,8 @@ class CompileServer:
         self.begin_drain()
         if self._dispatch_task is not None:
             await self._dispatch_task
+        if self.upgrades is not None:
+            await self.upgrades.aclose()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -412,6 +442,14 @@ class CompileServer:
                 self.latency.queue_wait.record(flight.queued_for)
                 self.latency.execute.record(elapsed)
                 self._absorb_metrics(result)
+                if (
+                    self.upgrades is not None
+                    and result.ok
+                    and result.key is not None
+                ):
+                    self.upgrades.note_served(
+                        result.job, result.key, max(1, flight.waiters)
+                    )
                 self.queue.resolve(flight, result)
         # past this point nothing new can be admitted; the server is
         # fully drained once every submitted flight above was resolved.
@@ -433,6 +471,16 @@ class CompileServer:
                 self._metric_counters.get(key, 0) + value
             )
 
+    def _absorb_upgrade(self, outcome: UpgradeOutcome) -> None:
+        """UpgradeEngine outcome callback (runs on the event loop)."""
+        self.counters.upgrades_attempted += 1
+        if outcome.status == "improved":
+            self.counters.upgrades_improved += 1
+        elif outcome.status == "rejected":
+            self.counters.upgrades_rejected += 1
+        else:
+            self.counters.upgrades_failed += 1
+
     # -- observability -------------------------------------------------------
 
     def stats(self) -> dict[str, object]:
@@ -446,6 +494,7 @@ class CompileServer:
                 "max_batch": self.config.max_batch,
                 "batch_window": self.config.batch_window,
                 "default_deadline": self.config.default_deadline,
+                "adaptive": self.config.adaptive,
             },
             "requests": self.counters.as_dict(),
             "queue": self.queue.as_dict(),
@@ -454,6 +503,11 @@ class CompileServer:
             "frontend_cache": self.compiler.artifacts.stats(),
             "stage_totals": dict(self._stage_totals),
             "metric_counters": dict(self._metric_counters),
+            "upgrades": (
+                self.upgrades.stats()
+                if self.upgrades is not None
+                else UpgradeEngine.disabled_stats()
+            ),
         }
 
 

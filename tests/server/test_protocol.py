@@ -136,3 +136,95 @@ def test_response_builders_are_jsonable():
     json.dumps([ok, err])
     with pytest.raises(AssertionError):
         response(1, "not-a-status")
+
+
+# --------------------------------------------------------------------------
+# Golden stats-payload schema (ISSUE 6): the `stats` endpoint is consumed
+# by bench_server.py, the CI gate, and format_server_stats — its key sets
+# are pinned here so additions are deliberate, schema-stable events.
+# --------------------------------------------------------------------------
+
+STATS_KEYS = [
+    "cache",
+    "config",
+    "frontend_cache",
+    "latency",
+    "metric_counters",
+    "queue",
+    "requests",
+    "stage_totals",
+    "state",
+    "upgrades",
+    "uptime_s",
+]
+
+REQUEST_COUNTER_KEYS = [
+    "cache_hits",
+    "connections",
+    "dedup_hits",
+    "errors",
+    "health",
+    "ok",
+    "overloaded",
+    "oversized_lines",
+    "protocol_errors",
+    "rejected_draining",
+    "requests",
+    "stats",
+    "strategy_executions",
+    "timeouts",
+    "upgrades_attempted",
+    "upgrades_failed",
+    "upgrades_improved",
+    "upgrades_rejected",
+]
+
+UPGRADES_KEYS = [
+    "attempted",
+    "copies_saved",
+    "enabled",
+    "failed",
+    "hot_threshold",
+    "improved",
+    "in_progress",
+    "pending",
+    "recent",
+    "rejected",
+    "shed",
+    "t_ave_delta",
+    "tracked",
+]
+
+
+def _stats_for(adaptive: bool) -> dict[str, object]:
+    import asyncio
+
+    from repro.server import CompileServer, ServerConfig
+
+    async def snapshot():
+        server = CompileServer(ServerConfig(port=0, adaptive=adaptive))
+        try:
+            return server.stats()
+        finally:
+            await server.aclose()
+
+    return asyncio.run(snapshot())
+
+
+@pytest.mark.parametrize("adaptive", [False, True])
+def test_stats_payload_schema_is_golden(adaptive):
+    stats = _stats_for(adaptive)
+    assert sorted(stats.keys()) == STATS_KEYS
+    assert sorted(stats["requests"].keys()) == REQUEST_COUNTER_KEYS
+    assert sorted(stats["upgrades"].keys()) == UPGRADES_KEYS
+    assert stats["upgrades"]["enabled"] is adaptive
+    json.dumps(stats)  # the whole payload must stay JSON-able
+
+
+def test_server_counters_cover_background_work():
+    from repro.server import ServerCounters
+
+    counters = ServerCounters()
+    as_dict = counters.as_dict()
+    assert sorted(as_dict.keys()) == REQUEST_COUNTER_KEYS
+    assert all(v == 0 for v in as_dict.values())
