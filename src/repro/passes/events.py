@@ -3,9 +3,8 @@
 This module is deliberately dependency-free (stdlib only) so that any
 layer — ``repro.pipeline``, ``repro.core.strategies``, ``repro.service``
 — can import it without creating an import cycle.  It is the neutral
-home of the :class:`Metrics`/:class:`StageMetric` protocol that
-previously lived in ``repro.service.metrics`` (which now merely
-re-exports it).
+home of the :class:`Metrics`/:class:`StageMetric` protocol (which
+originally lived in the since-retired ``repro.service.metrics``).
 
 Two observation channels exist:
 

@@ -1,0 +1,414 @@
+"""The fabric supervisor: gateway + N worker processes, one command.
+
+``python -m repro serve --role fabric --fabric-workers N`` runs a
+:class:`Fabric`: it spawns ``N`` worker processes (each a plain
+``serve --role worker`` on an ephemeral port, all sharing one
+multi-process-safe :class:`~repro.service.AllocationCache` directory),
+waits for their ``serving`` announcements, then starts one
+:class:`~repro.server.gateway.CompileGateway` sharding over them.
+
+Supervision loop:
+
+- each worker's process is polled every ``probe_interval`` seconds;
+- a worker that exits while the fabric is serving is restarted with
+  exponential backoff (``restart_backoff_base * 2**n`` capped at
+  ``restart_backoff_cap``); the restarted process gets a fresh
+  ephemeral port and the gateway is repointed with
+  ``update_endpoint`` — the shard map is keyed on the stable
+  ``worker_id``, so ownership (and with it cluster-wide single-flight)
+  survives the restart;
+- while a worker is down, the gateway's ring failover routes its
+  shards to the next worker; clients see retryable ``overloaded``
+  responses at worst, never hard failures;
+- ``max_restarts`` consecutive failures of one worker stop the
+  restart loop for it (a crash-looping binary will not be hammered).
+
+Shutdown order honors the drain invariant end to end: SIGTERM drains
+the **gateway first** (stop admitting, finish in-flight forwards), then
+SIGTERMs each worker and waits for its own drain (every accepted
+request answered), then reaps the processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .gateway import CompileGateway, GatewayConfig, WorkerEndpoint
+
+
+@dataclass(frozen=True, slots=True)
+class FabricConfig:
+    """Tunables of one :class:`Fabric` (gateway + workers)."""
+
+    host: str = "127.0.0.1"
+    #: gateway listen port (0 = ephemeral); workers always use 0
+    port: int = 0
+    fabric_workers: int = 2
+    #: shared AllocationCache directory (required: cluster-wide cache
+    #: coherence is the point; the CLI defaults it to a temp dir)
+    cache_dir: str | None = None
+    #: worker-side knobs, passed through to each ``serve --role worker``
+    pool_workers: int = 1
+    job_timeout: float | None = 120.0
+    max_queue: int = 64
+    max_batch: int = 8
+    batch_window: float = 0.01
+    default_deadline: float = 60.0
+    adaptive: bool = False
+    hot_threshold: int = 3
+    upgrade_budget: float = 5.0
+    synthetic_delay: float = 0.0
+    #: gateway knobs
+    failover: int = 1
+    gateway_id: str = "gw-0"
+    #: supervision knobs
+    probe_interval: float = 0.1
+    restart_backoff_base: float = 0.2
+    restart_backoff_cap: float = 2.0
+    #: consecutive restart attempts per worker before giving up on it
+    max_restarts: int = 5
+    #: seconds to wait for a spawned worker's ``serving`` announcement
+    spawn_timeout: float = 30.0
+
+
+@dataclass(slots=True)
+class WorkerHandle:
+    """One supervised worker process."""
+
+    worker_id: str
+    proc: asyncio.subprocess.Process | None = None
+    host: str = ""
+    port: int = 0
+    state: str = "starting"  # starting | up | restarting | failed | stopped
+    restarts: int = 0
+    #: consecutive failed restart attempts (reset on a successful spawn)
+    strikes: int = 0
+    reader_task: asyncio.Task | None = field(default=None, repr=False)
+
+    @property
+    def pid(self) -> int | None:
+        return self.proc.pid if self.proc is not None else None
+
+
+class FabricError(RuntimeError):
+    """The fabric could not reach a serving state."""
+
+
+class Fabric:
+    """Supervisor for one gateway + N worker processes."""
+
+    def __init__(self, config: FabricConfig | None = None):
+        self.config = config or FabricConfig()
+        assert self.config.fabric_workers >= 1
+        self.workers: list[WorkerHandle] = [
+            WorkerHandle(worker_id=f"w{i}")
+            for i in range(self.config.fabric_workers)
+        ]
+        self.gateway = CompileGateway(
+            GatewayConfig(
+                host=self.config.host,
+                port=self.config.port,
+                gateway_id=self.config.gateway_id,
+                failover=self.config.failover,
+                default_deadline=self.config.default_deadline,
+            ),
+            extra_stats=self.fabric_stats,
+        )
+        self._monitor_task: asyncio.Task | None = None
+        self._draining = False
+        self._started_at = time.monotonic()
+
+    # -- spawning ------------------------------------------------------------
+
+    def _worker_argv(self, handle: WorkerHandle) -> list[str]:
+        cfg = self.config
+        argv = [
+            sys.executable, "-m", "repro", "serve",
+            "--role", "worker",
+            "--worker-id", handle.worker_id,
+            "--host", cfg.host,
+            "--port", "0",
+            "--announce",
+            "--workers", str(cfg.pool_workers),
+            "--max-queue", str(cfg.max_queue),
+            "--max-batch", str(cfg.max_batch),
+            "--batch-window", str(cfg.batch_window),
+            "--deadline", str(cfg.default_deadline),
+        ]
+        if cfg.cache_dir is not None:
+            argv += ["--cache-dir", cfg.cache_dir]
+        if cfg.job_timeout is not None:
+            argv += ["--job-timeout", str(cfg.job_timeout)]
+        if cfg.adaptive:
+            argv += ["--adaptive",
+                     "--hot-threshold", str(cfg.hot_threshold),
+                     "--upgrade-budget", str(cfg.upgrade_budget)]
+        if cfg.synthetic_delay > 0:
+            argv += ["--synthetic-delay-ms",
+                     str(cfg.synthetic_delay * 1000.0)]
+        return argv
+
+    @staticmethod
+    def _worker_env() -> dict[str, str]:
+        env = dict(os.environ)
+        # Make `python -m repro` resolvable in the child even when the
+        # parent was launched with a cwd-relative PYTHONPATH.
+        pkg_root = str(Path(__file__).resolve().parents[2])
+        parts = [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+        if pkg_root not in parts:
+            env["PYTHONPATH"] = os.pathsep.join([pkg_root, *parts])
+        return env
+
+    async def _spawn(self, handle: WorkerHandle) -> None:
+        """Start one worker process and scrape its serving announcement."""
+        handle.state = "starting"
+        handle.proc = await asyncio.create_subprocess_exec(
+            *self._worker_argv(handle),
+            stdout=asyncio.subprocess.PIPE,
+            stderr=asyncio.subprocess.DEVNULL,
+            env=self._worker_env(),
+        )
+        assert handle.proc.stdout is not None
+        try:
+            async with asyncio.timeout(self.config.spawn_timeout):
+                while True:
+                    line = await handle.proc.stdout.readline()
+                    if not line:
+                        raise FabricError(
+                            f"worker {handle.worker_id} exited before "
+                            f"announcing (rc={handle.proc.returncode})"
+                        )
+                    try:
+                        event = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if event.get("event") == "serving":
+                        handle.host = str(event["host"])
+                        handle.port = int(event["port"])
+                        break
+        except TimeoutError as exc:
+            handle.proc.kill()
+            raise FabricError(
+                f"worker {handle.worker_id} did not announce within "
+                f"{self.config.spawn_timeout}s"
+            ) from exc
+        handle.state = "up"
+        handle.strikes = 0
+        # Keep draining the child's stdout so its pipe never fills.
+        handle.reader_task = asyncio.create_task(
+            self._discard_stdout(handle.proc.stdout),
+            name=f"repro-fabric-stdout-{handle.worker_id}",
+        )
+
+    @staticmethod
+    async def _discard_stdout(stream: asyncio.StreamReader) -> None:
+        while await stream.readline():
+            pass
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.gateway.address
+
+    async def start(self) -> None:
+        """Spawn every worker (concurrently), then start the gateway
+        and the supervision loop."""
+        self._started_at = time.monotonic()
+        results = await asyncio.gather(
+            *(self._spawn(h) for h in self.workers),
+            return_exceptions=True,
+        )
+        failures = [r for r in results if isinstance(r, BaseException)]
+        if failures:
+            await self._kill_all()
+            raise FabricError(
+                f"{len(failures)}/{len(self.workers)} workers failed to "
+                f"start: {failures[0]}"
+            )
+        for handle in self.workers:
+            self.gateway.add_worker(
+                WorkerEndpoint(handle.worker_id, handle.host, handle.port)
+            )
+        await self.gateway.start()
+        self._monitor_task = asyncio.create_task(
+            self._monitor_loop(), name="repro-fabric-monitor"
+        )
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.begin_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    def begin_drain(self) -> None:
+        """Gateway first: stop admitting; workers are drained in
+        :meth:`aclose` once the gateway settles."""
+        self._draining = True
+        self.gateway.begin_drain()
+
+    async def run_until_drained(self) -> dict[str, object]:
+        await self.gateway.wait_drained()
+        summary = await self.aclose()
+        return summary
+
+    async def aclose(self) -> dict[str, object]:
+        """Drain order: gateway, then workers, then reap. Returns the
+        fabric summary (per-worker restart counts + gateway counters)."""
+        self._draining = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except asyncio.CancelledError:
+                pass
+            self._monitor_task = None
+        await self.gateway.aclose()
+        await asyncio.gather(
+            *(self._drain_worker(h) for h in self.workers)
+        )
+        return self.summary()
+
+    async def _drain_worker(self, handle: WorkerHandle) -> None:
+        proc = handle.proc
+        if proc is None or proc.returncode is not None:
+            handle.state = "stopped"
+            return
+        try:
+            proc.send_signal(signal.SIGTERM)
+        except ProcessLookupError:  # pragma: no cover
+            handle.state = "stopped"
+            return
+        try:
+            async with asyncio.timeout(10.0):
+                await proc.wait()
+        except TimeoutError:  # pragma: no cover - drain hang guard
+            proc.kill()
+            await proc.wait()
+        if handle.reader_task is not None:
+            await handle.reader_task
+        handle.state = "stopped"
+
+    async def _kill_all(self) -> None:
+        for handle in self.workers:
+            if handle.proc is not None and handle.proc.returncode is None:
+                handle.proc.kill()
+                await handle.proc.wait()
+            handle.state = "stopped"
+
+    # -- supervision ---------------------------------------------------------
+
+    async def _monitor_loop(self) -> None:
+        """Poll worker processes; restart any that died while serving."""
+        while True:
+            await asyncio.sleep(self.config.probe_interval)
+            if self._draining:
+                continue
+            for handle in self.workers:
+                proc = handle.proc
+                if (
+                    handle.state == "up"
+                    and proc is not None
+                    and proc.returncode is not None
+                ):
+                    asyncio.get_running_loop().create_task(
+                        self._restart(handle),
+                        name=f"repro-fabric-restart-{handle.worker_id}",
+                    )
+                    handle.state = "restarting"
+
+    async def _restart(self, handle: WorkerHandle) -> None:
+        """Restart one dead worker with exponential backoff, then
+        repoint the gateway at its new ephemeral port."""
+        if handle.reader_task is not None:
+            await handle.reader_task
+            handle.reader_task = None
+        while not self._draining:
+            backoff = min(
+                self.config.restart_backoff_cap,
+                self.config.restart_backoff_base * (2 ** handle.strikes),
+            )
+            await asyncio.sleep(backoff)
+            if self._draining:
+                return
+            try:
+                await self._spawn(handle)
+            except FabricError:
+                handle.strikes += 1
+                if handle.strikes >= self.config.max_restarts:
+                    handle.state = "failed"
+                    return
+                continue
+            handle.restarts += 1
+            self.gateway.update_endpoint(
+                handle.worker_id, handle.host, handle.port
+            )
+            return
+
+    # -- observability -------------------------------------------------------
+
+    def fabric_stats(self) -> dict[str, object]:
+        """The ``fabric`` block the gateway attaches to its stats."""
+        return {
+            "uptime_s": time.monotonic() - self._started_at,
+            "draining": self._draining,
+            "restart_backoff_base": self.config.restart_backoff_base,
+            "restart_backoff_cap": self.config.restart_backoff_cap,
+            "workers": [
+                {
+                    "worker_id": h.worker_id,
+                    "pid": h.pid,
+                    "state": h.state,
+                    "restarts": h.restarts,
+                    "host": h.host,
+                    "port": h.port,
+                }
+                for h in self.workers
+            ],
+        }
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "workers": len(self.workers),
+            "restarts": sum(h.restarts for h in self.workers),
+            "failed_workers": sum(
+                1 for h in self.workers if h.state == "failed"
+            ),
+            "gateway": self.gateway.counters.as_dict(),
+        }
+
+
+async def run_fabric(
+    config: FabricConfig,
+    *,
+    announce=None,
+    signals: bool = True,
+) -> dict[str, object]:
+    """Run one fabric until drained; the ``serve --role fabric`` body."""
+    fabric = Fabric(config)
+    await fabric.start()
+    if signals:
+        fabric.install_signal_handlers()
+    if announce is not None:
+        host, port = fabric.address
+        announce({
+            "event": "serving", "host": host, "port": port,
+            "pid": os.getpid(), "role": "fabric",
+            "workers": [
+                {"worker_id": h.worker_id, "pid": h.pid, "port": h.port}
+                for h in fabric.workers
+            ],
+        })
+    summary = await fabric.run_until_drained()
+    if announce is not None:
+        announce({"event": "drained", **summary})
+    return summary

@@ -43,6 +43,15 @@ Framing limits are explicit: a request line longer than
 after an error response), and a ``source`` longer than
 :data:`MAX_SOURCE_BYTES` is rejected per-request — an oversized/poison
 program costs one error response, never a crash or an unbounded buffer.
+
+The distributed fabric speaks the same protocol.  Every process plays
+one of :data:`ROLES`; ``health``/``stats`` responses carry the
+:func:`identity` fields (``role``, ``worker_id``, ``schema_version``)
+so probes can tell a gateway from a worker.  A gateway relays compile
+requests with :func:`forward_envelope` — the original request plus a
+``via`` provenance record and a rewritten ``deadline_ms`` holding the
+*remaining* budget — and both sender and receiver refuse relay depths
+past :data:`MAX_FORWARD_HOPS`.
 """
 
 from __future__ import annotations
@@ -60,9 +69,19 @@ MAX_LINE_BYTES = 1 << 20
 MAX_SOURCE_BYTES = 1 << 18
 
 PROTOCOL_VERSION = 1
+#: Version of the ``health``/``stats`` payload schema.  Bumped when
+#: fields are added/renamed so dashboards and harnesses can detect
+#: what they are talking to; 2 added ``role``/``worker_id``.
+SCHEMA_VERSION = 2
 
 OPS = ("compile", "health", "stats")
 STATUSES = ("ok", "error", "overloaded", "timeout", "shutting-down")
+#: Process roles of the distributed fabric (``serve --role``).
+ROLES = ("single", "gateway", "worker", "fabric")
+#: Hard bound on gateway-to-worker forwarding depth: a request that
+#: has already been relayed this many times is refused instead of
+#: forwarded again, so a misconfigured ring can never loop.
+MAX_FORWARD_HOPS = 2
 
 
 class ProtocolError(ValueError):
@@ -78,6 +97,16 @@ class Request:
     job: BatchJob | None = None  # compile only
     deadline_ms: float | None = None
     include_allocation: bool = False
+    #: forwarding provenance when the request was relayed by a gateway:
+    #: ``{"gateway": <gateway_id>, "hop": <1..MAX_FORWARD_HOPS>}``
+    via: dict[str, object] | None = None
+
+    @property
+    def hop(self) -> int:
+        """Relay depth: 0 for a direct client request."""
+        if self.via is None:
+            return 0
+        return int(self.via["hop"])  # type: ignore[arg-type]
 
 
 def encode_message(payload: dict[str, object]) -> bytes:
@@ -163,6 +192,21 @@ def parse_request(obj: dict[str, object]) -> Request:
             "deadline_ms must be a positive number",
         )
 
+    via = obj.get("via")
+    if via is not None:
+        _require(isinstance(via, dict), "via must be an object")
+        assert isinstance(via, dict)
+        gateway = via.get("gateway")
+        _require(isinstance(gateway, str) and gateway != "",
+                 "via.gateway must be a non-empty string")
+        hop = via.get("hop")
+        _require(
+            isinstance(hop, int) and not isinstance(hop, bool)
+            and 1 <= hop <= MAX_FORWARD_HOPS,
+            f"via.hop must be an int in 1..{MAX_FORWARD_HOPS}",
+        )
+        via = {"gateway": gateway, "hop": hop}
+
     job = BatchJob(
         name=str(obj.get("name", "request")),
         source=source,
@@ -180,7 +224,45 @@ def parse_request(obj: dict[str, object]) -> Request:
         job=job,
         deadline_ms=None if deadline_ms is None else float(deadline_ms),
         include_allocation=bool(obj.get("include_allocation", False)),
+        via=via,
     )
+
+
+def forward_envelope(
+    obj: dict[str, object],
+    *,
+    deadline_ms: float,
+    gateway: str,
+    hop: int = 1,
+) -> dict[str, object]:
+    """The request a gateway relays to the owning worker.
+
+    The original request object is preserved verbatim except for two
+    fields: ``deadline_ms`` is rewritten to the *remaining* budget (the
+    gateway already spent part of the client's deadline routing), and
+    ``via`` records provenance and relay depth.  A hop count past
+    :data:`MAX_FORWARD_HOPS` raises — loops are refused at the sender,
+    and :func:`parse_request` refuses them at the receiver too.
+    """
+    if not 1 <= hop <= MAX_FORWARD_HOPS:
+        raise ProtocolError(
+            f"refusing to forward at hop {hop} "
+            f"(max {MAX_FORWARD_HOPS}): forwarding loop?"
+        )
+    out = dict(obj)
+    out["deadline_ms"] = deadline_ms
+    out["via"] = {"gateway": gateway, "hop": hop}
+    return out
+
+
+def identity(role: str, worker_id: str | None = None) -> dict[str, object]:
+    """The identity fields every ``health``/``stats`` payload carries."""
+    assert role in ROLES, role
+    return {
+        "role": role,
+        "worker_id": worker_id,
+        "schema_version": SCHEMA_VERSION,
+    }
 
 
 def response(

@@ -10,6 +10,13 @@ content-addressed :class:`~repro.service.AllocationCache`, source index,
 and stage-level front-end artifact reuse — in a dedicated dispatch
 thread, so the event loop never blocks on compilation.
 
+The dispatch machinery lives in :class:`WorkerCore`, deliberately
+decoupled from sockets: the same core serves both the classic
+single-process ``serve`` and the ``worker`` role of the distributed
+fabric (:mod:`repro.server.gateway` routes to workers,
+:mod:`repro.server.fabric` supervises them).  :class:`CompileServer`
+is the TCP shell around one core.
+
 Operational properties:
 
 - **Backpressure, not buffering** — a full admission queue answers
@@ -24,8 +31,9 @@ Operational properties:
   waiter, then exits; :meth:`drain_summary` asserts zero unanswered
   accepted requests.
 - **Observability** — ``health`` and ``stats`` answer instantly (they
-  bypass the queue) and expose queue depth, shed/dedup counters, batch
-  sizes, latency percentiles (:class:`repro.passes.events
+  bypass the queue) and expose the process identity (``role``,
+  ``worker_id``, ``schema_version``), queue depth, shed/dedup counters,
+  batch sizes, latency percentiles (:class:`repro.passes.events
   .LatencyRecorder`), strategy-execution counts, and the allocation/
   front-end cache statistics.
 """
@@ -50,7 +58,7 @@ from .queueing import AdmissionQueue, Flight
 
 @dataclass(frozen=True, slots=True)
 class ServerConfig:
-    """Tunables of one :class:`CompileServer`."""
+    """Tunables of one :class:`WorkerCore`/:class:`CompileServer`."""
 
     host: str = "127.0.0.1"
     port: int = 0  # 0 = ephemeral; read the bound port off `address`
@@ -76,6 +84,16 @@ class ServerConfig:
     hot_threshold: int = 3
     #: per-upgrade CPU budget in seconds
     upgrade_budget: float = 5.0
+    #: fabric identity: one of :data:`repro.server.protocol.ROLES`
+    role: str = "single"
+    #: stable worker name within a fabric (shard-map key); None for
+    #: the single-process role
+    worker_id: str | None = None
+    #: synthetic per-job service time (seconds) added in the dispatch
+    #: thread — a load/capacity-testing aid (``--synthetic-delay-ms``)
+    #: used by the fabric benchmark so throughput-scaling measurements
+    #: are not bottlenecked by the host's core count.  0 in production.
+    synthetic_delay: float = 0.0
 
 
 @dataclass(slots=True)
@@ -96,6 +114,8 @@ class ServerCounters:
     strategy_executions: int = 0
     connections: int = 0
     oversized_lines: int = 0
+    #: compile requests that arrived via a gateway forward (`via` set)
+    forwarded_in: int = 0
     upgrades_attempted: int = 0
     upgrades_improved: int = 0
     upgrades_rejected: int = 0
@@ -117,6 +137,7 @@ class ServerCounters:
             "strategy_executions": self.strategy_executions,
             "connections": self.connections,
             "oversized_lines": self.oversized_lines,
+            "forwarded_in": self.forwarded_in,
             "upgrades_attempted": self.upgrades_attempted,
             "upgrades_improved": self.upgrades_improved,
             "upgrades_rejected": self.upgrades_rejected,
@@ -138,8 +159,17 @@ class _Latencies:
         }
 
 
-class CompileServer:
-    """One listening compile service; see the module docstring."""
+class WorkerCore:
+    """The socket-free dispatch core of one compile worker.
+
+    Owns the admission queue, the micro-batch dispatch loop (running
+    the :class:`~repro.service.BatchCompiler` on a dedicated thread),
+    the adaptive-upgrade lane, and every counter the ``stats``
+    endpoint reports.  :class:`CompileServer` wraps a core in a TCP
+    listener; the fabric's ``worker`` role is the *same* core behind
+    the same listener, so single-process behavior is pinned by the
+    same test suite that pins the worker role.
+    """
 
     def __init__(
         self,
@@ -171,66 +201,40 @@ class CompileServer:
             )
         self._stage_totals: dict[str, float] = {}
         self._metric_counters: dict[str, float] = {}
-        self._server: asyncio.AbstractServer | None = None
         self._dispatch_task: asyncio.Task | None = None
         self._dispatch_pool = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-dispatch"
         )
-        self._drained = asyncio.Event()
+        self._queue_drained = asyncio.Event()
         self._started_at = time.monotonic()
 
     # -- lifecycle -----------------------------------------------------------
 
     @property
-    def address(self) -> tuple[str, int]:
-        assert self._server is not None and self._server.sockets
-        host, port = self._server.sockets[0].getsockname()[:2]
-        return host, port
-
-    @property
     def state(self) -> str:
-        if self._drained.is_set():
+        if self._queue_drained.is_set():
             return "stopped"
         return "draining" if self.queue.draining else "serving"
 
-    async def start(self) -> None:
+    def start(self) -> None:
+        """Start the dispatch loop (and the upgrade lane, if enabled)
+        on the running event loop."""
         self._started_at = time.monotonic()
-        self._server = await asyncio.start_server(
-            self._serve_connection,
-            self.config.host,
-            self.config.port,
-            limit=protocol.MAX_LINE_BYTES,
-        )
         self._dispatch_task = asyncio.create_task(
             self._dispatch_loop(), name="repro-dispatch-loop"
         )
         if self.upgrades is not None:
             self.upgrades.start()
 
-    def install_signal_handlers(self) -> None:
-        loop = asyncio.get_running_loop()
-        for sig in (signal.SIGTERM, signal.SIGINT):
-            try:
-                loop.add_signal_handler(sig, self.begin_drain)
-            except (NotImplementedError, RuntimeError):  # pragma: no cover
-                pass  # platform without loop signal support
-
     def begin_drain(self) -> None:
         """Stop accepting work; already-accepted work still completes."""
         if not self.queue.draining:
             self.queue.close()
 
-    async def wait_drained(self) -> None:
-        """Block until the drain (triggered by :meth:`begin_drain`)
-        finishes: queue empty, every waiter answered, sockets closed."""
-        await self._drained.wait()
-
-    async def run_until_drained(self) -> dict[str, object]:
-        """Start (if needed), serve until drained, return the summary."""
-        if self._server is None:
-            await self.start()
-        await self.wait_drained()
-        return self.drain_summary()
+    async def wait_queue_drained(self) -> None:
+        """Block until the dispatch loop has resolved every accepted
+        flight and exited (requires :meth:`begin_drain`)."""
+        await self._queue_drained.wait()
 
     async def aclose(self) -> None:
         """Drain and shut down (idempotent)."""
@@ -239,11 +243,7 @@ class CompileServer:
             await self._dispatch_task
         if self.upgrades is not None:
             await self.upgrades.aclose()
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
         self._dispatch_pool.shutdown(wait=True)
-        self._drained.set()
 
     def drain_summary(self) -> dict[str, object]:
         """The post-drain invariant record: every accepted request must
@@ -261,66 +261,27 @@ class CompileServer:
             "strategy_executions": self.counters.strategy_executions,
         }
 
-    # -- connection handling -------------------------------------------------
+    # -- request handling ----------------------------------------------------
 
-    async def _serve_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        self.counters.connections += 1
-        try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    # A line longer than the stream limit: answer once,
-                    # then close — the stream cannot be resynchronized.
-                    self.counters.oversized_lines += 1
-                    self.counters.protocol_errors += 1
-                    writer.write(protocol.encode_message(
-                        protocol.error_response(
-                            None,
-                            f"request line exceeds "
-                            f"{protocol.MAX_LINE_BYTES} bytes",
-                        )
-                    ))
-                    await writer.drain()
-                    break
-                if not line:
-                    break  # EOF
-                if line.strip() == b"":
-                    continue
-                reply = await self._handle_line(line)
-                writer.write(protocol.encode_message(reply))
-                await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
-            pass  # client vanished; any accepted work still completes
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-                pass
-
-    async def _handle_line(self, line: bytes) -> dict[str, object]:
-        try:
-            request = protocol.parse_request(protocol.decode_message(line))
-        except ProtocolError as exc:
-            self.counters.protocol_errors += 1
-            return protocol.error_response(None, str(exc))
+    async def handle_request(self, request: Request) -> dict[str, object]:
+        """Answer one validated request (any op)."""
         if request.op == "health":
             self.counters.health += 1
             return protocol.response(
                 request.id, "ok", state=self.state,
                 version=protocol.PROTOCOL_VERSION,
+                **protocol.identity(self.config.role, self.config.worker_id),
             )
         if request.op == "stats":
             self.counters.stats += 1
             return protocol.response(request.id, "ok", stats=self.stats())
-        return await self._handle_compile(request)
+        return await self.handle_compile(request)
 
-    async def _handle_compile(self, request: Request) -> dict[str, object]:
+    async def handle_compile(self, request: Request) -> dict[str, object]:
         assert request.job is not None
         self.counters.requests += 1
+        if request.via is not None:
+            self.counters.forwarded_in += 1
         t0 = time.monotonic()
         if self.queue.draining:
             self.counters.rejected_draining += 1
@@ -416,6 +377,14 @@ class CompileServer:
 
     # -- dispatch ------------------------------------------------------------
 
+    def _run_batch(self, jobs: list[BatchJob]):
+        """Dispatch-thread body: one BatchCompiler run, plus the
+        optional synthetic per-job service time (capacity testing)."""
+        report = self.compiler.run(jobs)
+        if self.config.synthetic_delay > 0:
+            time.sleep(self.config.synthetic_delay * len(jobs))
+        return report
+
     async def _dispatch_loop(self) -> None:
         """Pull micro-batches off the queue and run them on the batch
         compiler in the dispatch thread until drained."""
@@ -428,7 +397,7 @@ class CompileServer:
             t0 = time.monotonic()
             try:
                 report = await loop.run_in_executor(
-                    self._dispatch_pool, self.compiler.run, jobs
+                    self._dispatch_pool, self._run_batch, jobs
                 )
                 results = list(report.results)
             except Exception as exc:  # noqa: BLE001 - batch-level failure
@@ -451,12 +420,9 @@ class CompileServer:
                         result.job, result.key, max(1, flight.waiters)
                     )
                 self.queue.resolve(flight, result)
-        # past this point nothing new can be admitted; the server is
+        # past this point nothing new can be admitted; the core is
         # fully drained once every submitted flight above was resolved.
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-        self._drained.set()
+        self._queue_drained.set()
 
     def _absorb_metrics(self, result: JobResult) -> None:
         if result.ok and not result.cache_hit:
@@ -488,6 +454,7 @@ class CompileServer:
         return {
             "state": self.state,
             "uptime_s": time.monotonic() - self._started_at,
+            **protocol.identity(self.config.role, self.config.worker_id),
             "config": {
                 "workers": self.config.workers,
                 "max_queue": self.config.max_queue,
@@ -511,6 +478,172 @@ class CompileServer:
         }
 
 
+class CompileServer:
+    """One listening compile service: a TCP shell around a
+    :class:`WorkerCore`; see the module docstring."""
+
+    def __init__(
+        self,
+        config: ServerConfig | None = None,
+        compiler: BatchCompiler | None = None,
+        core: WorkerCore | None = None,
+    ):
+        self.core = core if core is not None else WorkerCore(config, compiler)
+        self._server: asyncio.AbstractServer | None = None
+        self._drain_watcher: asyncio.Task | None = None
+        self._drained = asyncio.Event()
+
+    # -- delegation (the core owns all serving state) ------------------------
+
+    @property
+    def config(self) -> ServerConfig:
+        return self.core.config
+
+    @property
+    def compiler(self) -> BatchCompiler:
+        return self.core.compiler
+
+    @property
+    def queue(self) -> AdmissionQueue:
+        return self.core.queue
+
+    @property
+    def counters(self) -> ServerCounters:
+        return self.core.counters
+
+    @property
+    def latency(self) -> _Latencies:
+        return self.core.latency
+
+    @property
+    def upgrades(self) -> UpgradeEngine | None:
+        return self.core.upgrades
+
+    def stats(self) -> dict[str, object]:
+        return self.core.stats()
+
+    def drain_summary(self) -> dict[str, object]:
+        return self.core.drain_summary()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self._server is not None and self._server.sockets
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    @property
+    def state(self) -> str:
+        if self._drained.is_set():
+            return "stopped"
+        return self.core.state
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.core.config.host,
+            self.core.config.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.core.start()
+        self._drain_watcher = asyncio.create_task(
+            self._close_when_drained(), name="repro-drain-watcher"
+        )
+
+    async def _close_when_drained(self) -> None:
+        """Close the listener once the core has resolved everything it
+        accepted, then mark the whole server drained."""
+        await self.core.wait_queue_drained()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._drained.set()
+
+    def install_signal_handlers(self) -> None:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.begin_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # platform without loop signal support
+
+    def begin_drain(self) -> None:
+        """Stop accepting work; already-accepted work still completes."""
+        self.core.begin_drain()
+
+    async def wait_drained(self) -> None:
+        """Block until the drain (triggered by :meth:`begin_drain`)
+        finishes: queue empty, every waiter answered, sockets closed."""
+        await self._drained.wait()
+
+    async def run_until_drained(self) -> dict[str, object]:
+        """Start (if needed), serve until drained, return the summary."""
+        if self._server is None:
+            await self.start()
+        await self.wait_drained()
+        return self.drain_summary()
+
+    async def aclose(self) -> None:
+        """Drain and shut down (idempotent)."""
+        self.begin_drain()
+        await self.core.aclose()
+        if self._drain_watcher is not None:
+            await self._drain_watcher
+        elif self._server is not None:  # started listener, core never ran
+            self._server.close()
+            await self._server.wait_closed()
+        self._drained.set()
+
+    # -- connection handling -------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.core.counters.connections += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # A line longer than the stream limit: answer once,
+                    # then close — the stream cannot be resynchronized.
+                    self.core.counters.oversized_lines += 1
+                    self.core.counters.protocol_errors += 1
+                    writer.write(protocol.encode_message(
+                        protocol.error_response(
+                            None,
+                            f"request line exceeds "
+                            f"{protocol.MAX_LINE_BYTES} bytes",
+                        )
+                    ))
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # EOF
+                if line.strip() == b"":
+                    continue
+                reply = await self._handle_line(line)
+                writer.write(protocol.encode_message(reply))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished; any accepted work still completes
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _handle_line(self, line: bytes) -> dict[str, object]:
+        try:
+            request = protocol.parse_request(protocol.decode_message(line))
+        except ProtocolError as exc:
+            self.core.counters.protocol_errors += 1
+            return protocol.error_response(None, str(exc))
+        return await self.core.handle_request(request)
+
+
 async def serve(
     config: ServerConfig,
     *,
@@ -532,7 +665,8 @@ async def serve(
         host, port = server.address
         announce({
             "event": "serving", "host": host, "port": port,
-            "pid": os.getpid(),
+            "pid": os.getpid(), "role": config.role,
+            "worker_id": config.worker_id,
         })
     await server.wait_drained()
     await server.aclose()

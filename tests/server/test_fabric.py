@@ -1,0 +1,166 @@
+"""Fabric supervisor end-to-end: real worker subprocesses.
+
+These tests spawn actual ``python -m repro serve --role worker``
+processes, so they cover the announce-scrape handshake, the shared
+on-disk allocation cache, and — the satellite this PR pins — a client
+surviving a SIGKILLed worker mid-run while the supervisor restarts it.
+"""
+
+import asyncio
+import os
+import signal
+import time
+
+from repro.server import Fabric, FabricConfig, ServerClient
+
+
+def _program(tag: int) -> str:
+    return (
+        f"program f{tag};\n"
+        f"var i, s, t{tag}: int; a: array[8] of int;\n"
+        "begin\n"
+        "  for i := 0 to 7 do a[i] := i;\n"
+        f"  s := 0; t{tag} := {tag};\n"
+        f"  for i := 0 to 7 do s := s + a[i] + t{tag};\n"
+        "  write(s)\n"
+        "end.\n"
+    )
+
+
+def _fabric_config(tmp_path, **overrides) -> FabricConfig:
+    defaults = dict(
+        fabric_workers=2,
+        cache_dir=str(tmp_path / "cache"),
+        probe_interval=0.05,
+        restart_backoff_base=0.05,
+        restart_backoff_cap=0.5,
+        batch_window=0.002,
+    )
+    defaults.update(overrides)
+    return FabricConfig(**defaults)
+
+
+async def _wait_for(predicate, timeout: float, what: str) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        await asyncio.sleep(0.05)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def test_fabric_serves_and_drains(tmp_path):
+    async def main():
+        fabric = Fabric(_fabric_config(tmp_path))
+        await fabric.start()
+        host, port = fabric.address
+        async with ServerClient(host, port) as client:
+            health = await client.health()
+            assert health["role"] == "gateway" and health["workers"] == 2
+            for i in range(6):
+                reply = await client.compile(_program(i))
+                assert reply["status"] == "ok", reply
+            stats = await client.stats()
+        assert stats["cluster"]["ok"] == 6
+        fabric_block = stats["fabric"]
+        states = {w["worker_id"]: w["state"]
+                  for w in fabric_block["workers"]}
+        assert states == {"w0": "up", "w1": "up"}
+        assert all(w["pid"] for w in fabric_block["workers"])
+        summary = await fabric.aclose()
+        assert summary["restarts"] == 0 and summary["failed_workers"] == 0
+        assert all(h.state == "stopped" for h in fabric.workers)
+
+    asyncio.run(main())
+
+
+def test_client_survives_worker_kill_and_supervisor_restart(tmp_path):
+    """SIGKILL one worker while clients are mid-run: every request must
+    still get a non-failure answer (ring failover + client retries),
+    and the supervisor must restart the worker within its backoff
+    budget, repointing the gateway at the new port."""
+
+    async def main():
+        fabric = Fabric(_fabric_config(
+            tmp_path,
+            # stretch each job so the kill lands while work is in flight
+            synthetic_delay=0.02,
+        ))
+        await fabric.start()
+        host, port = fabric.address
+
+        victim = fabric.workers[0]
+        old_port = victim.port
+        outcomes: list[str] = []
+
+        async def client_run(worker_id: int) -> None:
+            client = ServerClient(
+                host, port, retries=6, backoff_base=0.02
+            )
+            try:
+                for j in range(6):
+                    reply = await client.compile(
+                        _program(worker_id * 100 + j),
+                        deadline_ms=30_000.0,
+                    )
+                    outcomes.append(str(reply.get("status")))
+            finally:
+                await client.close()
+
+        async def killer() -> None:
+            await asyncio.sleep(0.15)  # land inside the run
+            os.kill(victim.pid, signal.SIGKILL)
+
+        await asyncio.gather(*(client_run(i) for i in range(4)), killer())
+
+        # zero client-visible failures: every request ended "ok"
+        # (overload shed along the way was absorbed by client retries)
+        assert outcomes.count("ok") == len(outcomes) == 24, outcomes
+
+        await _wait_for(
+            lambda: victim.state == "up" and victim.restarts >= 1,
+            timeout=10.0, what="supervisor restart of w0",
+        )
+        assert victim.port != 0 and victim.port != old_port
+
+        # the restarted worker serves its shards again through the
+        # gateway (endpoint repointed; shard identity preserved)
+        async with ServerClient(host, port) as client:
+            stats = await client.stats()
+            assert stats["workers"]["w0"]["state"] != "down"
+            for i in range(4):
+                reply = await client.compile(_program(900 + i))
+                assert reply["status"] == "ok", reply
+
+        summary = await fabric.aclose()
+        assert summary["restarts"] >= 1
+        assert summary["failed_workers"] == 0
+
+    asyncio.run(main())
+
+
+def test_fabric_shares_one_allocation_cache(tmp_path):
+    """The same source compiled before and after a full fabric restart
+    is a disk-cache hit: all workers mount one cache directory."""
+
+    async def main():
+        config = _fabric_config(tmp_path, fabric_workers=1)
+        fabric = Fabric(config)
+        await fabric.start()
+        host, port = fabric.address
+        async with ServerClient(host, port) as client:
+            first = await client.compile(_program(5))
+            assert first["status"] == "ok"
+            assert first["result"]["cache_hit"] is False
+        await fabric.aclose()
+
+        fabric2 = Fabric(config)
+        await fabric2.start()
+        host, port = fabric2.address
+        async with ServerClient(host, port) as client:
+            again = await client.compile(_program(5))
+            assert again["status"] == "ok"
+            assert again["result"]["cache_hit"] is True
+        await fabric2.aclose()
+
+    asyncio.run(main())

@@ -1,0 +1,391 @@
+"""Gateway sharding, forwarding, failover, and cluster stats.
+
+Workers here are in-process :class:`CompileServer` instances (or
+scripted fakes for envelope inspection) on ephemeral ports, so these
+tests exercise the real wire path without subprocess overhead; the
+subprocess supervisor is covered by ``test_fabric.py``.
+"""
+
+import asyncio
+import collections
+import json
+
+import pytest
+
+from repro.server import (
+    CompileGateway,
+    CompileServer,
+    GatewayConfig,
+    ServerClient,
+    ServerConfig,
+    ShardMap,
+    WorkerEndpoint,
+    protocol,
+)
+from repro.server.gateway import shard_key
+from repro.service.batch import BatchJob
+
+
+def _program(tag: int) -> str:
+    return (
+        f"program g{tag};\n"
+        f"var i, s, t{tag}: int; a: array[8] of int;\n"
+        "begin\n"
+        "  for i := 0 to 7 do a[i] := i;\n"
+        f"  s := 0; t{tag} := {tag};\n"
+        f"  for i := 0 to 7 do s := s + a[i] + t{tag};\n"
+        "  write(s)\n"
+        "end.\n"
+    )
+
+
+# --------------------------------------------------------------------------
+# ShardMap properties
+# --------------------------------------------------------------------------
+
+
+def test_shard_map_owner_is_deterministic():
+    ring = ShardMap(["w0", "w1", "w2"])
+    again = ShardMap(["w2", "w0", "w1"])  # insertion order irrelevant
+    for i in range(200):
+        key = f"key-{i}"
+        assert ring.owner(key) == again.owner(key)
+
+
+def test_shard_map_preference_lists_distinct_workers():
+    ring = ShardMap(["w0", "w1", "w2", "w3"])
+    for i in range(100):
+        pref = ring.preference(f"key-{i}", 3)
+        assert len(pref) == 3
+        assert len(set(pref)) == 3
+        assert pref[0] == ring.owner(f"key-{i}")
+    # asking for more workers than exist returns all of them, once each
+    assert sorted(ring.preference("k", 99)) == ["w0", "w1", "w2", "w3"]
+
+
+def test_shard_map_balances_keys():
+    ring = ShardMap([f"w{i}" for i in range(4)], replicas=64)
+    counts = collections.Counter(
+        ring.owner(f"key-{i}") for i in range(2000)
+    )
+    assert len(counts) == 4
+    # virtual nodes keep the spread within a loose band of fair share
+    for worker, n in counts.items():
+        assert 150 <= n <= 1000, (worker, counts)
+
+
+def test_shard_map_removal_only_moves_owned_keys():
+    ring = ShardMap(["w0", "w1", "w2"])
+    before = {f"key-{i}": ring.owner(f"key-{i}") for i in range(500)}
+    ring.remove("w1")
+    for key, owner in before.items():
+        if owner != "w1":
+            assert ring.owner(key) == owner  # unaffected shards stay put
+        else:
+            assert ring.owner(key) in ("w0", "w2")
+    ring.add("w1")  # re-adding restores the original assignment
+    for key, owner in before.items():
+        assert ring.owner(key) == owner
+
+
+def test_shard_key_is_the_dedup_key():
+    job = BatchJob("a", _program(1))
+    same = BatchJob("different-name", _program(1))
+    other = BatchJob("a", _program(2))
+    assert shard_key(job) == shard_key(same) == job.source_key()
+    assert shard_key(job) != shard_key(other)
+
+
+def test_empty_ring_has_no_owner():
+    ring = ShardMap()
+    assert ring.owner("k") is None and ring.preference("k", 3) == []
+
+
+# --------------------------------------------------------------------------
+# Forwarding end-to-end (real in-process workers)
+# --------------------------------------------------------------------------
+
+
+def _worker_config(worker_id: str) -> ServerConfig:
+    return ServerConfig(
+        port=0, workers=1, max_queue=16, max_batch=4,
+        batch_window=0.005, role="worker", worker_id=worker_id,
+    )
+
+
+async def _start_fabric(n: int, **gateway_overrides):
+    workers = []
+    endpoints = []
+    for i in range(n):
+        server = CompileServer(_worker_config(f"w{i}"))
+        await server.start()
+        host, port = server.address
+        workers.append(server)
+        endpoints.append(WorkerEndpoint(f"w{i}", host, port))
+    gateway = CompileGateway(
+        GatewayConfig(port=0, **gateway_overrides), endpoints
+    )
+    await gateway.start()
+    return gateway, workers
+
+
+async def _stop_fabric(gateway, workers):
+    await gateway.aclose()
+    for server in workers:
+        server.begin_drain()
+        await server.wait_drained()
+        await server.aclose()
+
+
+def test_gateway_routes_compiles_and_reports_identity():
+    async def main():
+        gateway, workers = await _start_fabric(2)
+        host, port = gateway.address
+        async with ServerClient(host, port) as client:
+            health = await client.health()
+            assert health["role"] == "gateway"
+            assert health["worker_id"] is None
+            assert health["schema_version"] == protocol.SCHEMA_VERSION
+            assert health["workers"] == 2
+            for i in range(6):
+                reply = await client.compile(_program(i), name=f"g{i}")
+                assert reply["status"] == "ok", reply
+            stats = await client.stats()
+        assert stats["role"] == "gateway"
+        assert stats["requests"]["forwarded"] == 6
+        # every worker answered with its own identity in the fan-out
+        for worker_id, worker_stats in stats["workers"].items():
+            assert worker_stats["role"] == "worker"
+            assert worker_stats["worker_id"] == worker_id
+        cluster = stats["cluster"]
+        assert cluster["workers"] == 2 and cluster["workers_up"] == 2
+        # the 6 compiles are spread over the workers but sum up exactly
+        assert cluster["ok"] == 6
+        await _stop_fabric(gateway, workers)
+
+    asyncio.run(main())
+
+
+def test_gateway_gives_cluster_wide_single_flight():
+    """Duplicates of one source all land on the shard owner, whose
+    admission queue coalesces them: executions < ok across the fabric."""
+
+    async def main():
+        gateway, workers = await _start_fabric(3)
+        host, port = gateway.address
+        source = _program(7)
+
+        async def one(i: int):
+            async with ServerClient(host, port) as client:
+                return await client.compile(source, name=f"dup{i}")
+
+        replies = await asyncio.gather(*(one(i) for i in range(12)))
+        assert all(r["status"] == "ok" for r in replies)
+        stats_client = ServerClient(host, port)
+        stats = await stats_client.stats()
+        await stats_client.close()
+        cluster = stats["cluster"]
+        assert cluster["ok"] == 12
+        # single-flight + cache: one strategy execution for 12 requests
+        assert cluster["strategy_executions"] == 1
+        # ownership: exactly one worker saw any compile traffic
+        compiled_on = [
+            w for w, s in stats["workers"].items()
+            if s["requests"]["requests"] > 0
+        ]
+        assert len(compiled_on) == 1
+        await _stop_fabric(gateway, workers)
+
+    asyncio.run(main())
+
+
+def test_gateway_fails_over_to_ring_successor():
+    async def main():
+        gateway, workers = await _start_fabric(2, failover=1)
+        # Kill one worker's listener abruptly (no drain): its shards
+        # must fail over to the survivor without client-visible errors.
+        dead = workers[0]
+        dead.begin_drain()
+        await dead.wait_drained()
+        await dead.aclose()
+        host, port = gateway.address
+        async with ServerClient(host, port) as client:
+            for i in range(8):
+                reply = await client.compile(_program(i), name=f"g{i}")
+                assert reply["status"] == "ok", reply
+        assert gateway.counters.forwarded == 8
+        # some keys were owned by the dead worker — each cost a failover
+        assert gateway.counters.failovers > 0
+        assert gateway.counters.worker_errors == gateway.counters.failovers
+        await _stop_fabric(gateway, workers[1:])
+
+    asyncio.run(main())
+
+
+def test_gateway_sheds_retryably_when_all_workers_down():
+    async def main():
+        gateway, workers = await _start_fabric(2, failover=1)
+        for worker in workers:
+            worker.begin_drain()
+            await worker.wait_drained()
+            await worker.aclose()
+        host, port = gateway.address
+        async with ServerClient(host, port, retries=1) as client:
+            reply = await client.compile(_program(0))
+        assert reply["status"] == "overloaded"
+        assert reply["retry_after_ms"] > 0
+        await gateway.aclose()
+
+    asyncio.run(main())
+
+
+def test_gateway_rejects_while_draining():
+    async def main():
+        gateway, workers = await _start_fabric(1)
+        gateway.begin_drain()
+        host, port = gateway.address
+        async with ServerClient(host, port, retries=0) as client:
+            reply = await client.compile(_program(0))
+            assert reply["status"] == "shutting-down"
+            health = await client.health()
+            assert health["state"] == "draining"
+        await _stop_fabric(gateway, workers)
+
+    asyncio.run(main())
+
+
+# --------------------------------------------------------------------------
+# Forward-envelope semantics (scripted worker records what it receives)
+# --------------------------------------------------------------------------
+
+
+class RecordingWorker:
+    """A fake worker that records every request object it receives and
+    answers each with a canned ok."""
+
+    def __init__(self):
+        self.received: list[dict] = []
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self):
+        self._server = await asyncio.start_server(self._serve, "127.0.0.1", 0)
+
+    @property
+    def address(self):
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def _serve(self, reader, writer):
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            obj = json.loads(line)
+            self.received.append(obj)
+            writer.write(protocol.encode_message(
+                protocol.response(obj.get("id"), "ok", result={})
+            ))
+            await writer.drain()
+        writer.close()
+
+    async def aclose(self):
+        self._server.close()
+        await self._server.wait_closed()
+
+
+def test_forwarded_requests_carry_via_and_remaining_deadline():
+    async def main():
+        worker = RecordingWorker()
+        await worker.start()
+        host, port = worker.address
+        gateway = CompileGateway(
+            GatewayConfig(port=0, gateway_id="gw-test"),
+            [WorkerEndpoint("w0", host, port)],
+        )
+        await gateway.start()
+        ghost, gport = gateway.address
+        async with ServerClient(ghost, gport) as client:
+            reply = await client.compile(
+                _program(0), deadline_ms=30_000.0
+            )
+            assert reply["status"] == "ok"
+        [seen] = worker.received
+        assert seen["via"] == {"gateway": "gw-test", "hop": 1}
+        # the forwarded budget is the *remaining* client budget
+        assert 0 < seen["deadline_ms"] <= 30_000.0
+        # a worker parses the forwarded object as hop 1
+        assert protocol.parse_request(seen).hop == 1
+        await gateway.aclose()
+        await worker.aclose()
+
+    asyncio.run(main())
+
+
+def test_gateway_refuses_forwarding_loops():
+    """A request already at MAX_FORWARD_HOPS must not be relayed again."""
+
+    async def main():
+        worker = RecordingWorker()
+        await worker.start()
+        host, port = worker.address
+        gateway = CompileGateway(
+            GatewayConfig(port=0), [WorkerEndpoint("w0", host, port)]
+        )
+        await gateway.start()
+        ghost, gport = gateway.address
+        reader, writer = await asyncio.open_connection(ghost, gport)
+        writer.write(protocol.encode_message({
+            "op": "compile", "id": 1, "source": _program(0),
+            "via": {"gateway": "gw-elsewhere",
+                    "hop": protocol.MAX_FORWARD_HOPS},
+        }))
+        await writer.drain()
+        reply = json.loads(await reader.readline())
+        assert reply["status"] == "error"
+        assert "hop" in reply["error"]
+        assert worker.received == []  # never relayed
+        writer.close()
+        await writer.wait_closed()
+        await gateway.aclose()
+        await worker.aclose()
+
+    asyncio.run(main())
+
+
+# --------------------------------------------------------------------------
+# Multi-endpoint client rotation
+# --------------------------------------------------------------------------
+
+
+def test_client_rotates_endpoints_on_transport_failure():
+    async def main():
+        worker = RecordingWorker()
+        await worker.start()
+        host, port = worker.address
+        # First endpoint is a dead port; the client must rotate to the
+        # live one within its transport-retry budget.
+        dead = await asyncio.start_server(lambda r, w: None, "127.0.0.1", 0)
+        dead_port = dead.sockets[0].getsockname()[1]
+        dead.close()
+        await dead.wait_closed()
+        client = ServerClient(
+            endpoints=[(host, dead_port), (host, port)],
+            retries=2, backoff_base=0.01,
+        )
+        reply = await client.request("health")
+        assert reply["status"] == "ok"
+        assert client.transport_retries >= 1
+        assert (client.host, client.port) == (host, port)
+        await client.close()
+        await worker.aclose()
+
+    asyncio.run(main())
+
+
+@pytest.mark.parametrize("n", [1, 3])
+def test_client_single_and_multi_endpoint_config(n):
+    endpoints = [("127.0.0.1", 9000 + i) for i in range(n)]
+    client = ServerClient(endpoints=endpoints)
+    assert (client.host, client.port) == endpoints[0]
+    client.rotate_endpoint()
+    expected = endpoints[1 % n]
+    assert (client.host, client.port) == expected

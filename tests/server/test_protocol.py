@@ -5,11 +5,15 @@ import json
 import pytest
 
 from repro.server.protocol import (
+    MAX_FORWARD_HOPS,
     MAX_SOURCE_BYTES,
+    SCHEMA_VERSION,
     ProtocolError,
     decode_message,
     encode_message,
     error_response,
+    forward_envelope,
+    identity,
     machine_from_dict,
     parse_request,
     response,
@@ -128,6 +132,68 @@ def test_machine_defaults_to_paper_machine():
     assert (machine.num_fus, machine.num_modules) == (4, 8)
 
 
+def test_parse_direct_request_has_hop_zero():
+    req = parse_request({"op": "compile", "source": GOOD_SOURCE})
+    assert req.via is None and req.hop == 0
+
+
+def test_parse_forwarded_request_keeps_provenance():
+    req = parse_request({
+        "op": "compile",
+        "source": GOOD_SOURCE,
+        "via": {"gateway": "gw-0", "hop": 1, "extra": "dropped"},
+    })
+    assert req.via == {"gateway": "gw-0", "hop": 1}
+    assert req.hop == 1
+
+
+@pytest.mark.parametrize(
+    "via",
+    [
+        "gw-0",
+        {"hop": 1},
+        {"gateway": "", "hop": 1},
+        {"gateway": "gw-0"},
+        {"gateway": "gw-0", "hop": 0},
+        {"gateway": "gw-0", "hop": MAX_FORWARD_HOPS + 1},
+        {"gateway": "gw-0", "hop": True},
+    ],
+)
+def test_parse_rejects_bad_via(via):
+    with pytest.raises(ProtocolError) as err:
+        parse_request({"op": "compile", "source": GOOD_SOURCE, "via": via})
+    assert "via" in str(err.value)
+
+
+def test_forward_envelope_rewrites_deadline_and_stamps_via():
+    original = {"op": "compile", "source": GOOD_SOURCE,
+                "id": 4, "deadline_ms": 5000}
+    fwd = forward_envelope(original, deadline_ms=3200.0, gateway="gw-0")
+    assert fwd["deadline_ms"] == 3200.0
+    assert fwd["via"] == {"gateway": "gw-0", "hop": 1}
+    assert fwd["id"] == 4 and fwd["source"] == GOOD_SOURCE
+    assert original["deadline_ms"] == 5000  # input untouched
+    assert "via" not in original
+    # the forwarded object round-trips through the normal parser
+    req = parse_request(fwd)
+    assert req.hop == 1 and req.deadline_ms == 3200.0
+
+
+def test_forward_envelope_refuses_hop_overflow():
+    obj = {"op": "compile", "source": GOOD_SOURCE}
+    with pytest.raises(ProtocolError):
+        forward_envelope(obj, deadline_ms=100.0, gateway="gw-0",
+                         hop=MAX_FORWARD_HOPS + 1)
+
+
+def test_identity_fields():
+    ident = identity("worker", "w0")
+    assert ident == {"role": "worker", "worker_id": "w0",
+                     "schema_version": SCHEMA_VERSION}
+    with pytest.raises(AssertionError):
+        identity("not-a-role")
+
+
 def test_response_builders_are_jsonable():
     ok = response("id1", "ok", result={"singles": 3})
     assert ok["status"] == "ok" and ok["id"] == "id1"
@@ -152,10 +218,13 @@ STATS_KEYS = [
     "metric_counters",
     "queue",
     "requests",
+    "role",
+    "schema_version",
     "stage_totals",
     "state",
     "upgrades",
     "uptime_s",
+    "worker_id",
 ]
 
 REQUEST_COUNTER_KEYS = [
@@ -163,6 +232,7 @@ REQUEST_COUNTER_KEYS = [
     "connections",
     "dedup_hits",
     "errors",
+    "forwarded_in",
     "health",
     "ok",
     "overloaded",
@@ -218,6 +288,8 @@ def test_stats_payload_schema_is_golden(adaptive):
     assert sorted(stats["requests"].keys()) == REQUEST_COUNTER_KEYS
     assert sorted(stats["upgrades"].keys()) == UPGRADES_KEYS
     assert stats["upgrades"]["enabled"] is adaptive
+    assert stats["role"] == "single" and stats["worker_id"] is None
+    assert stats["schema_version"] == SCHEMA_VERSION
     json.dumps(stats)  # the whole payload must stay JSON-able
 
 
