@@ -23,6 +23,7 @@ import sys
 from pathlib import Path
 
 from .core.strategies import run_strategy
+from .core.workunits import RUNNERS
 from .liw.machine import MachineConfig
 from .passes.artifacts import PipelineOptions, compiled_program
 from .passes.events import CollectingTracer
@@ -38,7 +39,7 @@ def _machine(args: argparse.Namespace) -> MachineConfig:
 
 def _options(args: argparse.Namespace) -> PipelineOptions:
     """The pass-pipeline configuration one CLI invocation describes."""
-    return PipelineOptions(
+    options = PipelineOptions(
         machine=_machine(args),
         unroll=args.unroll,
         constants_in_memory=args.memory_constants,
@@ -47,9 +48,23 @@ def _options(args: argparse.Namespace) -> PipelineOptions:
         strategy=args.strategy,
         method=args.method,
         seed=args.seed,
+        runner=args.runner,
         layout=args.layout,
         delta=args.delta,
     )
+    if args.max_atom_nodes is not None:
+        # In the knobs (not a dedicated field) so it feeds the allocate
+        # pass's fingerprint — it changes results, unlike the runner.
+        options = options.with_knobs(max_atom_nodes=args.max_atom_nodes)
+    return options
+
+
+def _strategy_kwargs(args: argparse.Namespace) -> dict[str, object]:
+    """Work-unit knobs for the direct run_strategy call sites."""
+    kwargs: dict[str, object] = {"runner": args.runner}
+    if args.max_atom_nodes is not None:
+        kwargs["max_atom_nodes"] = args.max_atom_nodes
+    return kwargs
 
 
 def _compile(args: argparse.Namespace, source: str):
@@ -75,9 +90,13 @@ def cmd_compile(args: argparse.Namespace) -> int:
 
     from .analysis.report import format_trace, trace_json
 
+    from .passes.delta import DeltaCache
+
     source = Path(args.program).read_text()
     tracer = CollectingTracer()
-    run = run_pipeline(source, _options(args), tracer=tracer)
+    run = run_pipeline(
+        source, _options(args), tracer=tracer, delta_cache=DeltaCache()
+    )
     program = compiled_program(run.store)
     storage = run.artifact("storage")
     print(f"; {program.name}: {program.schedule.num_instructions} long "
@@ -104,7 +123,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     program = _compile(args, source)
     storage = run_strategy(
         args.strategy, program.schedule, program.renamed,
-        method=args.method, seed=args.seed,
+        method=args.method, seed=args.seed, **_strategy_kwargs(args),
     )
     inputs = [_parse_input_value(v) for v in args.input]
     result = simulate(
@@ -127,7 +146,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     program = _compile(args, spec.source)
     storage = run_strategy(
         args.strategy, program.schedule, program.renamed,
-        method=args.method, seed=args.seed,
+        method=args.method, seed=args.seed, **_strategy_kwargs(args),
     )
     result = simulate(
         program, storage.allocation, list(spec.inputs), layout=args.layout
@@ -168,6 +187,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
             method=args.method,
             unroll=args.unroll,
             constants_in_memory=args.memory_constants,
+            max_atom_nodes=args.max_atom_nodes,
+            runner=args.runner,
         )
         for spec in specs
     ]
@@ -402,6 +423,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="value-renaming granularity")
         p.add_argument("--seed", type=int, default=0,
                        help="tie-break seed for the storage strategies")
+        p.add_argument("--runner", default="serial", choices=list(RUNNERS),
+                       help="atom work-unit execution mode (results are "
+                            "identical across runners)")
+        p.add_argument("--max-atom-nodes", type=int, default=None,
+                       help="clique-separator decomposition bound "
+                            "(components above it are coloured whole)")
 
     p_compile = sub.add_parser("compile", help="compile and allocate")
     p_compile.add_argument("program")

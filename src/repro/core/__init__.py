@@ -42,6 +42,18 @@ from .verify import (
     sdr_exists,
     verify_allocation,
 )
+from .workunits import (
+    RUNNERS,
+    AtomTask,
+    UnitRunStats,
+    atom_task,
+    default_workers,
+    dependency_levels,
+    free_threading_active,
+    resolve_runner,
+    task_fingerprint,
+    warm_process_pool,
+)
 
 __all__ = [
     "Allocation",
@@ -82,6 +94,16 @@ __all__ = [
     "stor2",
     "stor3",
     "stor_region",
+    "RUNNERS",
+    "AtomTask",
+    "UnitRunStats",
+    "atom_task",
+    "default_workers",
+    "dependency_levels",
+    "free_threading_active",
+    "resolve_runner",
+    "task_fingerprint",
+    "warm_process_pool",
     "combination_conflict_free",
     "conflicting_instructions",
     "find_sdr",

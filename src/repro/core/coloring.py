@@ -24,10 +24,14 @@ colouring proper without a permutation step.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from .atoms import decompose_atoms
+from .atoms import DEFAULT_MAX_NODES
 from .bitset import iter_bits
 from .conflict_graph import ConflictGraph
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only
+    from ..passes.delta import DeltaScope
 
 
 @dataclass(frozen=True, slots=True)
@@ -218,13 +222,36 @@ def color_graph(
     module_choice: str = "first",
     use_atoms: bool = True,
     prefer: set[int] | None = None,
+    *,
+    runner: str = "serial",
+    delta: "DeltaScope | None" = None,
+    max_atom_nodes: int | None = None,
+    unit_stats: dict[str, int | str] | None = None,
 ) -> ColoringResult:
     """Colour a conflict graph (paper §2.1): decompose into atoms, colour
     each, composing via shared-clique constraints.  ``prefer`` marks
-    nodes coloured before all others (see :func:`color_atom`)."""
+    nodes coloured before all others (see :func:`color_atom`).
+
+    The atom loop runs on the work-unit engine
+    (:mod:`repro.core.workunits`): ``runner`` picks serial / threads /
+    processes execution (results are byte-identical across runners —
+    merging stays in atom order), ``delta`` enables rank-space fragment
+    reuse across near-duplicate graphs, and ``max_atom_nodes`` bounds
+    the clique-separator decomposition (components above the bound are
+    coloured whole).  ``unit_stats``, when given, is filled with the
+    engine's unit/level/runner counters.
+    """
+    from . import workunits
+
     preassigned = dict(preassigned or {})
+    max_nodes = (
+        DEFAULT_MAX_NODES if max_atom_nodes is None else max_atom_nodes
+    )
+    scope = delta if module_choice == "first" else None
     if not use_atoms:
-        result = color_atom(graph, k, preassigned, module_choice, prefer=prefer)
+        result = _color_whole(
+            graph, k, preassigned, module_choice, prefer, scope
+        )
         result.num_atoms = 1 if graph.nodes else 0
         _repair_improper_edges(graph, result, set(preassigned))
         return result
@@ -233,25 +260,21 @@ def color_graph(
     combined.assignment.update(
         {v: m for v, m in preassigned.items() if v in graph.nodes}
     )
-    decomposition = decompose_atoms(graph)
     # Colour atoms in decomposition (depth-first) order: its
     # running-intersection property guarantees that the vertices an atom
     # shares with earlier atoms form one clique, so the pre-assigned
     # constraints are always mutually consistent and extendable.
-    atoms = [a for a in decomposition.atoms if a.nodes]
+    atoms = workunits.decomposed_atoms(graph, max_nodes, scope)
     combined.num_atoms = len(atoms)
     module_use = [0] * k
-    for atom in atoms:
-        pre = {
-            v: combined.assignment[v]
-            for v in atom.nodes
-            if v in combined.assignment
-        }
-        pre.update(
-            {v: m for v, m in preassigned.items() if v in atom.nodes}
-        )
-        sub = color_atom(atom, k, pre, module_choice, module_use, prefer)
-        combined.merge(sub)
+    stats = workunits.run_atom_units(
+        atoms, k, preassigned, module_choice, prefer,
+        combined, module_use, runner=runner, delta=scope,
+    )
+    if unit_stats is not None:
+        unit_stats["runner"] = stats.runner
+        unit_stats["units"] = stats.units
+        unit_stats["levels"] = stats.levels
     # De-duplicate: a separator vertex removed in one atom but coloured in
     # another must not be in both lists; colouring wins (its copy exists).
     combined.unassigned = [
@@ -259,6 +282,37 @@ def color_graph(
     ]
     _repair_improper_edges(graph, combined, set(preassigned))
     return combined
+
+
+def _color_whole(
+    graph: ConflictGraph,
+    k: int,
+    preassigned: dict[int, int],
+    module_choice: str,
+    prefer: set[int] | None,
+    scope: "DeltaScope | None",
+) -> ColoringResult:
+    """The ``use_atoms=False`` path: the whole graph as one unit, with
+    optional delta reuse."""
+    from . import workunits
+
+    if scope is None or not graph.nodes:
+        return color_atom(graph, k, preassigned, module_choice, prefer=prefer)
+    task = workunits.atom_task(0, graph, k, module_choice, prefer)
+    pre = {v: m for v, m in preassigned.items() if v in graph.nodes}
+    payload = workunits.task_fingerprint(task, pre)
+    # color_atom's first-node branch keys off the *given* dict being
+    # empty, even when none of its keys are in the graph — preserve
+    # that in the content address.
+    key = scope.key(
+        "whole-color", {"unit": payload, "pre_empty": not preassigned}
+    )
+    fragment = scope.get(key)
+    if fragment is not None:
+        return workunits.decode_fragment(task, fragment)
+    result = color_atom(graph, k, preassigned, module_choice, prefer=prefer)
+    scope.put(key, workunits.encode_fragment(task, result))
+    return result
 
 
 def _repair_improper_edges(

@@ -24,6 +24,8 @@ def _run_allocate(ctx: PassContext) -> None:
         method=opts.method,
         seed=opts.seed,
         metrics=stage_metrics,
+        runner=opts.runner,
+        delta=ctx.delta,
         **opts.knobs(),
     )
     for stage in stage_metrics.stages:
@@ -32,6 +34,9 @@ def _run_allocate(ctx: PassContext) -> None:
     ctx.count("singles", storage.singles)
     ctx.count("multiples", storage.multiples)
     ctx.count("total_copies", storage.total_copies)
+    units = sum(s.stats.atom_units for s in storage.stages)
+    if units:
+        ctx.count("atom_units", units)
     residual = len(storage.residual_instructions)
     ctx.count("residual", residual)
     if residual:

@@ -29,6 +29,7 @@ from .allocation import Allocation
 from .assign import AssignmentResult, assign_modules
 from .bitset import COUNTERS
 from .verify import conflicting_instructions
+from .workunits import RUNNERS
 
 
 @dataclass(slots=True)
@@ -86,7 +87,14 @@ def _timed_assign(
     (``kernel_*``) accumulated during the call — masks built, placements
     enumerated, branches pruned, memo hits, ... — so ``--trace-json``
     exposes per-stage kernel effort (see
-    :class:`repro.core.bitset.KernelCounters`)."""
+    :class:`repro.core.bitset.KernelCounters`).  Under parallel runners
+    the kernel counters are best-effort (worker processes keep their
+    own); the ``delta_hits``/``delta_misses`` counts, tracked on the
+    :class:`~repro.passes.delta.DeltaScope` in this process, stay
+    exact."""
+    scope = kwargs.get("delta")
+    hits0 = scope.hits if scope is not None else 0
+    misses0 = scope.misses if scope is not None else 0
     before = COUNTERS.snapshot()
     t0 = time.perf_counter()
     result = assign_modules(*args, **kwargs)
@@ -97,6 +105,10 @@ def _timed_assign(
             for name, n in COUNTERS.delta_since(before).items()
             if n
         }
+        delta_counts: dict[str, int] = {}
+        if scope is not None:
+            delta_counts["delta_hits"] = scope.hits - hits0
+            delta_counts["delta_misses"] = scope.misses - misses0
         metrics.add_stage(
             stage,
             wall,
@@ -107,6 +119,7 @@ def _timed_assign(
             colored=result.stats.colored,
             removed=result.stats.removed,
             copies_created=result.stats.copies_created,
+            **delta_counts,
             **kernel_counts,
         )
     return result
@@ -347,7 +360,9 @@ STRATEGIES = {
 METHODS = ("hitting_set", "backtrack")
 
 #: Knobs every strategy forwards to :func:`assign_modules`.
-_ASSIGN_KNOBS = ("module_choice", "tie_break", "use_atoms", "weights")
+_ASSIGN_KNOBS = (
+    "module_choice", "tie_break", "use_atoms", "weights", "max_atom_nodes",
+)
 
 #: Knobs understood by the strategies themselves (beyond the explicit
 #: ``method``/``seed``/``metrics`` parameters and positional ``k``).
@@ -380,12 +395,30 @@ def validate_strategy_kwargs(name: str, kwargs: Mapping[str, object]) -> None:
             f"unknown method {method!r} for {sname}; valid methods: "
             f"{', '.join(METHODS)}"
         )
-    valid = ("method", "seed", "metrics") + STRATEGY_KNOBS[sname]
+    valid = (
+        "method", "seed", "metrics", "runner", "delta",
+    ) + STRATEGY_KNOBS[sname]
     unknown = sorted(set(kwargs) - set(valid))
     if unknown:
         raise ValueError(
             f"unknown {sname} option(s) {', '.join(map(repr, unknown))}; "
             f"valid options: {', '.join(valid)}"
+        )
+    runner = kwargs.get("runner", "serial")
+    if runner not in RUNNERS:
+        raise ValueError(
+            f"unknown runner {runner!r} for {sname}; valid runners: "
+            f"{', '.join(RUNNERS)}"
+        )
+    max_atom_nodes = kwargs.get("max_atom_nodes")
+    if max_atom_nodes is not None and (
+        isinstance(max_atom_nodes, bool)
+        or not isinstance(max_atom_nodes, int)
+        or max_atom_nodes < 1
+    ):
+        raise ValueError(
+            f"max_atom_nodes must be a positive integer, "
+            f"got {max_atom_nodes!r}"
         )
 
 

@@ -12,6 +12,9 @@
     Chained content fingerprints — the stage-level cache keys.
 ``repro.passes.cache``
     :class:`ArtifactCache` — LRU reuse of per-pass artifacts.
+``repro.passes.delta``
+    :class:`DeltaCache`/:class:`DeltaScope` — sub-pass fragment reuse
+    (per-atom allocation fragments) across near-duplicate inputs.
 ``repro.passes.manager``
     :class:`Pass`, :class:`PassContext`, :class:`PassManager`.
 ``repro.passes.registry``
@@ -37,6 +40,7 @@ from .artifacts import (
     register_artifact,
 )
 from .cache import ArtifactCache
+from .delta import DeltaCache, DeltaScope, fragment_weight
 from .events import (
     CollectingTracer,
     Metrics,
@@ -85,6 +89,8 @@ __all__ = [
     "ArtifactStore",
     "CollectingTracer",
     "CompiledProgram",
+    "DeltaCache",
+    "DeltaScope",
     "Metrics",
     "MetricsTracer",
     "NullTracer",
@@ -102,6 +108,7 @@ __all__ = [
     "chain_fingerprint",
     "compiled_program",
     "digest",
+    "fragment_weight",
     "initial_fingerprint",
     "register_artifact",
     *_REGISTRY_EXPORTS,

@@ -167,6 +167,12 @@ class PipelineOptions:
     k: int | None = None
     seed: int = 0
     strategy_knobs: tuple[tuple[str, object], ...] = ()
+    #: work-unit execution mode for the allocate pass
+    #: ('serial'/'auto'/'threads'/'processes').  Pure execution policy:
+    #: results are byte-identical across runners, so this field is
+    #: deliberately NOT in any pass's config_keys — switching runners
+    #: keeps every cached artifact valid.
+    runner: str = "serial"
     # simulation
     layout: str = "interleaved"
     delta: float = 1.0

@@ -12,25 +12,52 @@ on-disk :class:`repro.service.cache.AllocationCache` that persists only
 final storage results.  Entries are shared by reference; downstream
 passes treat their inputs as immutable (they already do — every
 transformation in the pipeline builds new structures), so sharing is
-safe.  Eviction is LRU with a bounded entry count.
+safe.
+
+Eviction is LRU.  By default every entry costs one unit against
+``max_entries`` — the right accounting for whole-stage artifact dicts,
+which are all roughly program-sized.  Sub-pass *fragments* (the per-atom
+entries of :class:`repro.passes.delta.DeltaCache`) vary by orders of
+magnitude, so the cache optionally also tracks a **weight** per entry
+(``weigher``) against a ``max_weight`` budget; entries heavier than
+``max_entry_weight`` (default: a quarter of the budget) are rejected
+outright, so one huge program's fragments cannot evict the entire
+cache on admission.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Callable
 
 
 class ArtifactCache:
     """LRU cache: pass fingerprint -> {artifact name: value}."""
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(
+        self,
+        max_entries: int = 256,
+        max_weight: int | None = None,
+        weigher: "Callable[[dict[str, object]], int] | None" = None,
+        max_entry_weight: int | None = None,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
+        if max_weight is not None and max_weight < 1:
+            raise ValueError("max_weight must be >= 1")
         self.max_entries = max_entries
+        self.max_weight = max_weight
+        if max_entry_weight is None and max_weight is not None:
+            max_entry_weight = max(1, max_weight // 4)
+        self.max_entry_weight = max_entry_weight
+        self._weigher = weigher
         self._entries: "OrderedDict[str, dict[str, object]]" = OrderedDict()
+        self._weights: dict[str, int] = {}
+        self.total_weight = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.rejected = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -47,29 +74,55 @@ class ArtifactCache:
         self.hits += 1
         return entry
 
+    def _drop(self, fingerprint: str) -> None:
+        if fingerprint in self._entries:
+            del self._entries[fingerprint]
+            self.total_weight -= self._weights.pop(fingerprint, 1)
+
     def put(self, fingerprint: str, artifacts: dict[str, object]) -> int:
         """Store an entry; returns how many LRU entries were evicted to
         make room (the pass manager surfaces the count on the pass's
         Tracer event)."""
-        self._entries[fingerprint] = dict(artifacts)
-        self._entries.move_to_end(fingerprint)
+        entry = dict(artifacts)
+        weight = 1 if self._weigher is None else max(1, self._weigher(entry))
+        if self.max_entry_weight is not None and weight > self.max_entry_weight:
+            # Admitting an entry this large would churn out a big slice
+            # of the resident set for one improbable-to-repeat key.
+            self.rejected += 1
+            self._drop(fingerprint)
+            return 0
+        self._drop(fingerprint)
+        self._entries[fingerprint] = entry
+        self._weights[fingerprint] = weight
+        self.total_weight += weight
         evicted = 0
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        while len(self._entries) > self.max_entries or (
+            self.max_weight is not None
+            and self.total_weight > self.max_weight
+        ):
+            victim, _ = self._entries.popitem(last=False)
+            self.total_weight -= self._weights.pop(victim, 1)
             evicted += 1
         self.evictions += evicted
         return evicted
 
     def clear(self) -> None:
         self._entries.clear()
-        self.hits = self.misses = self.evictions = 0
+        self._weights.clear()
+        self.total_weight = 0
+        self.hits = self.misses = self.evictions = self.rejected = 0
 
     def stats(self) -> dict[str, object]:
         lookups = self.hits + self.misses
-        return {
+        out: dict[str, object] = {
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hits / lookups if lookups else 0.0,
         }
+        if self.max_weight is not None:
+            out["weight"] = self.total_weight
+            out["max_weight"] = self.max_weight
+            out["rejected"] = self.rejected
+        return out

@@ -35,6 +35,7 @@ from .passes.artifacts import (
     compiled_program,
 )
 from .passes.cache import ArtifactCache
+from .passes.delta import DeltaCache
 from .passes.events import Metrics, MetricsTracer, TeeTracer, Tracer
 from .passes.manager import Pass, PassManager, PassRunResult
 from .passes.registry import COMPILE_PASSES, FRONTEND_PASSES, FULL_PIPELINE
@@ -84,12 +85,15 @@ def run_pipeline(
     tracer: Tracer | None = None,
     metrics: Metrics | None = None,
     cache: ArtifactCache | None = None,
+    delta_cache: DeltaCache | None = None,
 ) -> PassRunResult:
     """Run a pass pipeline over ``source`` and return the full result
     (artifact store, per-pass fingerprints, events, cache counters).
 
     ``passes`` defaults to compile + allocate; pass ``inputs`` to run
-    the full pipeline including simulation.
+    the full pipeline including simulation.  ``delta_cache`` enables
+    sub-pass fragment reuse (per-atom allocation fragments) across
+    near-duplicate sources — see :mod:`repro.passes.delta`.
     """
     options = options if options is not None else PipelineOptions()
     if passes is None:
@@ -98,7 +102,10 @@ def run_pipeline(
     if inputs is not None:
         initial["inputs"] = list(inputs)
     manager = PassManager(
-        passes, tracer=_combined_tracer(tracer, metrics), cache=cache
+        passes,
+        tracer=_combined_tracer(tracer, metrics),
+        cache=cache,
+        delta=delta_cache,
     )
     run = manager.run(initial, options)
     _note_cache_counters(metrics, run, cache)

@@ -17,7 +17,8 @@ Three operations exist:
     Compile + storage-allocate one program.  The request body carries
     the same knobs as a :class:`repro.service.BatchJob` (``source``,
     ``machine``, ``strategy``, ``method``, ``unroll``,
-    ``constants_in_memory``, ``k``, ``seed``) plus a per-request
+    ``constants_in_memory``, ``k``, ``seed``, ``max_atom_nodes``,
+    ``runner``) plus a per-request
     ``deadline_ms`` and ``include_allocation`` (return the full encoded
     :class:`~repro.core.strategies.StorageResult`, not just the summary).
 ``health``
@@ -60,6 +61,7 @@ import json
 from dataclasses import dataclass
 
 from ..core.strategies import METHODS, STRATEGIES
+from ..core.workunits import RUNNERS
 from ..liw.machine import MachineConfig
 from ..service.batch import BatchJob
 
@@ -71,8 +73,10 @@ MAX_SOURCE_BYTES = 1 << 18
 PROTOCOL_VERSION = 1
 #: Version of the ``health``/``stats`` payload schema.  Bumped when
 #: fields are added/renamed so dashboards and harnesses can detect
-#: what they are talking to; 2 added ``role``/``worker_id``.
-SCHEMA_VERSION = 2
+#: what they are talking to; 2 added ``role``/``worker_id``; 3 added
+#: the ``delta_cache`` stats block (and the ``max_atom_nodes``/
+#: ``runner`` compile-request fields).
+SCHEMA_VERSION = 3
 
 OPS = ("compile", "health", "stats")
 STATUSES = ("ok", "error", "overloaded", "timeout", "shutting-down")
@@ -183,6 +187,16 @@ def parse_request(obj: dict[str, object]) -> Request:
     k = obj.get("k")
     _require(k is None or (isinstance(k, int) and not isinstance(k, bool)
                            and k >= 1), "k must be a positive int or null")
+    max_atom_nodes = obj.get("max_atom_nodes")
+    _require(
+        max_atom_nodes is None
+        or (isinstance(max_atom_nodes, int)
+            and not isinstance(max_atom_nodes, bool) and max_atom_nodes >= 1),
+        "max_atom_nodes must be a positive int or null",
+    )
+    runner = str(obj.get("runner", "serial"))
+    _require(runner in RUNNERS,
+             f"unknown runner {runner!r} (valid: {list(RUNNERS)})")
 
     deadline_ms = obj.get("deadline_ms")
     if deadline_ms is not None:
@@ -217,6 +231,8 @@ def parse_request(obj: dict[str, object]) -> Request:
         constants_in_memory=bool(obj.get("constants_in_memory", False)),
         k=k,
         seed=seed,
+        max_atom_nodes=max_atom_nodes,
+        runner=runner,
     )
     return Request(
         op="compile",

@@ -468,6 +468,7 @@ class WorkerCore:
             "latency": self.latency.as_dict(),
             "cache": self.compiler.cache.stats(),
             "frontend_cache": self.compiler.artifacts.stats(),
+            "delta_cache": self.compiler.delta.stats(),
             "stage_totals": dict(self._stage_totals),
             "metric_counters": dict(self._metric_counters),
             "upgrades": (

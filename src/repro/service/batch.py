@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from ..core.strategies import StorageResult, run_strategy
 from ..liw.machine import MachineConfig
 from ..passes.cache import ArtifactCache
+from ..passes.delta import DeltaCache, DeltaScope
 from ..passes.events import Metrics
 from ..pipeline import compile_source
 from .cache import (
@@ -53,6 +54,12 @@ from .cache import (
 #: per (source, front-end knobs) in each process.
 _WORKER_ARTIFACTS = ArtifactCache(max_entries=64)
 
+#: Per-process delta cache: rank-space allocation fragments shared
+#: across the jobs a worker executes, so near-duplicate programs in a
+#: corpus (sweeps, mutated variants) re-colour only the atoms that
+#: changed.  Thread-safe; bounded by weight (see repro.passes.delta).
+_WORKER_DELTA = DeltaCache()
+
 
 @dataclass(frozen=True, slots=True)
 class BatchJob:
@@ -67,6 +74,13 @@ class BatchJob:
     constants_in_memory: bool = False
     k: int | None = None
     seed: int = 0
+    #: clique-separator decomposition bound; changes results, so it is
+    #: part of the job's cache keys whenever set.
+    max_atom_nodes: int | None = None
+    #: work-unit execution mode ('serial'/'auto'/'threads'/'processes').
+    #: Pure execution policy — results are byte-identical across
+    #: runners — so it is deliberately NOT part of any cache key.
+    runner: str = "serial"
 
     def source_key(self) -> str:
         """Cheap parent-side key over the *inputs* of the job — used to
@@ -84,6 +98,9 @@ class BatchJob:
             "k": m.k if self.k is None else self.k,
             "seed": self.seed,
         }
+        # Only when set, so keys of existing corpora are unchanged.
+        if self.max_atom_nodes is not None:
+            payload["max_atom_nodes"] = self.max_atom_nodes
         return hashlib.sha256(_canonical(payload)).hexdigest()
 
 
@@ -140,6 +157,8 @@ class BatchReport:
     cache_stats: dict[str, object] = field(default_factory=dict)
     #: parent-side front-end artifact-cache statistics (stage-level reuse)
     artifact_stats: dict[str, object] = field(default_factory=dict)
+    #: parent-side delta-cache statistics (sub-pass fragment reuse)
+    delta_stats: dict[str, object] = field(default_factory=dict)
 
     @property
     def num_ok(self) -> int:
@@ -175,6 +194,7 @@ class BatchReport:
             "stage_totals": self.stage_totals(),
             "cache": dict(self.cache_stats),
             "frontend_cache": dict(self.artifact_stats),
+            "delta_cache": dict(self.delta_stats),
             "num_ok": self.num_ok,
             "num_cache_hits": self.num_cache_hits,
             "hit_rate": self.hit_rate,
@@ -192,19 +212,33 @@ def _compile_and_key(
         metrics=metrics,
         cache=artifacts,
     )
+    knobs: dict[str, object] = {"seed": job.seed}
+    if job.max_atom_nodes is not None:
+        knobs["max_atom_nodes"] = job.max_atom_nodes
     key = job_key(
         program_fingerprint(program.schedule, program.renamed),
         job.machine,
         job.strategy,
         job.method,
         job.k,
-        seed=job.seed,
+        **knobs,
     )
     return program, key
 
 
-def _allocate(job: BatchJob, program, metrics: Metrics) -> StorageResult:
-    return run_strategy(
+def _allocate(
+    job: BatchJob,
+    program,
+    metrics: Metrics,
+    delta: DeltaCache | None = None,
+) -> StorageResult:
+    kwargs: dict[str, object] = {}
+    if job.max_atom_nodes is not None:
+        kwargs["max_atom_nodes"] = job.max_atom_nodes
+    # Same scope name the pass manager uses for the allocate pass, so
+    # fragments are shared across the batch and pipeline entry points.
+    scope = DeltaScope(delta, "allocate") if delta is not None else None
+    storage = run_strategy(
         job.strategy,
         program.schedule,
         program.renamed,
@@ -212,7 +246,14 @@ def _allocate(job: BatchJob, program, metrics: Metrics) -> StorageResult:
         method=job.method,
         seed=job.seed,
         metrics=metrics,
+        runner=job.runner,
+        delta=scope,
+        **kwargs,
     )
+    if scope is not None and scope.lookups:
+        metrics.incr("delta_hits", scope.hits)
+        metrics.incr("delta_misses", scope.misses)
+    return storage
 
 
 def _execute_job(
@@ -228,7 +269,7 @@ def _execute_job(
         if cached is not None:
             metrics.incr("cache_hits")
             return key, cached, metrics.as_dict(), True
-    storage = _allocate(job, program, metrics)
+    storage = _allocate(job, program, metrics, _WORKER_DELTA)
     metrics.incr("cache_misses")
     if cache is not None:
         cache.put(key, storage)
@@ -254,6 +295,12 @@ class BatchCompiler:
         front-end reuse on the parent's serial path; defaults to a
         fresh bounded cache.  Jobs sharing a source and front-end knobs
         (but differing in strategy/method) compile the front end once.
+    delta_cache:
+        A :class:`repro.passes.delta.DeltaCache` for sub-pass fragment
+        reuse on the parent's serial path: near-duplicate sources in a
+        corpus re-colour only the atoms whose rank-space fingerprint
+        changed.  Defaults to a fresh bounded cache.  (Pool workers use
+        a per-process module-level delta cache instead.)
     worker_fn:
         Replacement for the worker entry point — used by the tests to
         simulate hung and dying workers.
@@ -267,6 +314,7 @@ class BatchCompiler:
         timeout: float | None = None,
         cache: AllocationCache | None = None,
         artifact_cache: ArtifactCache | None = None,
+        delta_cache: DeltaCache | None = None,
         worker_fn=None,
     ):
         self.workers = max(1, workers if workers is not None
@@ -276,6 +324,7 @@ class BatchCompiler:
         self.artifacts = (
             artifact_cache if artifact_cache is not None else ArtifactCache()
         )
+        self.delta = delta_cache if delta_cache is not None else DeltaCache()
         self._worker_fn = worker_fn if worker_fn is not None else _execute_job
         self._index: dict[str, str] = {}
         self._load_index()
@@ -319,7 +368,7 @@ class BatchCompiler:
             storage = self.cache.get(key)
             hit = storage is not None
             if storage is None:
-                storage = _allocate(job, program, metrics)
+                storage = _allocate(job, program, metrics, self.delta)
                 self.cache.put(key, storage)
             metrics.incr("cache_hits" if hit else "cache_misses")
             self._index[job.source_key()] = key
@@ -463,4 +512,5 @@ class BatchCompiler:
             self.workers,
             self.cache.stats(),
             self.artifacts.stats(),
+            self.delta.stats(),
         )

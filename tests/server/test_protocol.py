@@ -112,12 +112,35 @@ def test_parse_compile_full():
           "machine": {"num_modules": 0}}, "machine"),
         ({"op": "compile", "source": GOOD_SOURCE, "machine": "big"},
          "machine"),
+        ({"op": "compile", "source": GOOD_SOURCE, "max_atom_nodes": 0},
+         "max_atom_nodes"),
+        ({"op": "compile", "source": GOOD_SOURCE, "max_atom_nodes": True},
+         "max_atom_nodes"),
+        ({"op": "compile", "source": GOOD_SOURCE, "runner": "fibers"},
+         "runner"),
     ],
 )
 def test_parse_rejects_invalid_requests(obj, fragment):
     with pytest.raises(ProtocolError) as err:
         parse_request(obj)
     assert fragment in str(err.value)
+
+
+def test_parse_compile_workunit_knobs():
+    req = parse_request({
+        "op": "compile",
+        "source": GOOD_SOURCE,
+        "max_atom_nodes": 32,
+        "runner": "processes",
+    })
+    assert req.job is not None
+    assert req.job.max_atom_nodes == 32
+    assert req.job.runner == "processes"
+    # both default off/serial
+    plain = parse_request({"op": "compile", "source": GOOD_SOURCE})
+    assert plain.job is not None
+    assert plain.job.max_atom_nodes is None
+    assert plain.job.runner == "serial"
 
 
 def test_oversized_source_rejected_per_request():
@@ -213,6 +236,7 @@ def test_response_builders_are_jsonable():
 STATS_KEYS = [
     "cache",
     "config",
+    "delta_cache",
     "frontend_cache",
     "latency",
     "metric_counters",
