@@ -1,0 +1,170 @@
+"""Array-layout optimizer benchmark: measured t_opt vs the paper's t_ave.
+
+The paper's Table 2 treats array bank conflicts as statistically
+inevitable: with arrays interleaved uniformly, a program pays t_ave.
+The compile-time array-layout optimizer (``--array-layout optimize``,
+:mod:`repro.core.arraylayout`) claims to beat that envelope by choosing
+per-array layouts and dependence-legal schedule moves from the
+recovered affine access patterns.
+
+This benchmark holds it to the claim **by measurement, not by model**:
+every registry program is executed twice on the LIW executor with the
+memory simulator attached — once under the default interleaved layout
+(producing the baseline t_min/t_ave/t_actual) and once under the
+optimizer's plan (producing t_opt = the optimized run's t_actual) — at
+both paper machine widths (k = 8 and k = 4), verifying the outputs are
+identical.  It emits ``BENCH_arrays.json``.
+
+With ``--check`` (the CI gate) the script exits non-zero unless:
+
+- ``t_opt <= t_ave`` for **every** program at **both** k, and
+- ``t_opt < t_ave`` strictly on at least two array-heavy programs
+  (FFT and SORT are the designated targets), and
+- every optimized run reproduces the baseline outputs exactly.
+
+Usage::
+
+    python benchmarks/bench_arrays.py [--out BENCH_arrays.json]
+                                      [--unroll 4] [--check]
+
+Standalone script (not collected by pytest), like ``bench_alloc.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.arraylayout import optimize_arrays  # noqa: E402
+from repro.core.strategies import stor1  # noqa: E402
+from repro.liw.machine import MachineConfig  # noqa: E402
+from repro.pipeline import compile_for_paper, simulate  # noqa: E402
+from repro.programs import all_programs  # noqa: E402
+
+KS = (8, 4)
+#: Programs the gate requires a *strict* t_opt < t_ave win on.
+STRICT_TARGETS = ("FFT", "SORT")
+
+
+def bench_one(spec, k: int, unroll: int) -> dict[str, object]:
+    machine = MachineConfig(num_fus=4, num_modules=k)
+    program = compile_for_paper(spec.source, machine, unroll=unroll)
+    storage = stor1(program.schedule, program.renamed, k)
+    inputs = list(spec.inputs)
+
+    base = simulate(program, storage.allocation, inputs)
+
+    t0 = time.perf_counter()
+    plan = optimize_arrays(program.schedule, storage)
+    opt_wall = time.perf_counter() - t0
+    opt = simulate(program, storage.allocation, inputs, plan=plan)
+
+    mem = base.memory
+    t_opt = opt.memory.t_actual
+    return {
+        "k": k,
+        "t_min": mem.t_min,
+        "t_ave": mem.t_ave,
+        "t_max": mem.t_max,
+        "t_actual": mem.t_actual,
+        "t_opt": t_opt,
+        "opt_vs_ave": t_opt / mem.t_ave if mem.t_ave else 1.0,
+        "opt_ratio": t_opt / mem.t_min if mem.t_min else 1.0,
+        "ave_ratio": mem.ave_ratio,
+        "moves": plan.num_moves,
+        "specs": {
+            name: {"kind": s.kind, "base": s.base}
+            for name, s in sorted(plan.specs.items())
+        },
+        "affine_fraction": plan.affine_fraction,
+        "optimizer_wall_s": opt_wall,
+        "outputs_equal": opt.outputs == base.outputs,
+        "cycles": base.cycles,
+        "opt_cycles": opt.cycles,
+    }
+
+
+def run_bench(unroll: int) -> dict[str, object]:
+    programs: dict[str, dict[str, object]] = {}
+    for spec in all_programs():
+        entries = {}
+        for k in KS:
+            entry = bench_one(spec, k, unroll)
+            entries[f"k{k}"] = entry
+            print(
+                f"{spec.name:8s} k={k}: t_opt={entry['t_opt']:9.1f}  "
+                f"t_ave={entry['t_ave']:9.1f}  "
+                f"({entry['opt_vs_ave']:.3f}x of t_ave, "
+                f"{entry['moves']} moves)"
+            )
+        programs[spec.name] = entries
+    return {"unroll": unroll, "ks": list(KS), "programs": programs}
+
+
+def check(report: dict[str, object]) -> list[str]:
+    """The CI-gate conditions; returns human-readable failures."""
+    failures: list[str] = []
+    strict_wins: set[str] = set()
+    programs = report["programs"]
+    assert isinstance(programs, dict)
+    for name, entries in programs.items():
+        for key, entry in entries.items():
+            t_opt = float(entry["t_opt"])
+            t_ave = float(entry["t_ave"])
+            if not entry["outputs_equal"]:
+                failures.append(f"{name} {key}: optimized outputs differ")
+            if t_opt > t_ave + 1e-9:
+                failures.append(
+                    f"{name} {key}: t_opt {t_opt:.1f} > t_ave {t_ave:.1f}"
+                )
+            if t_opt < t_ave - 1e-9:
+                strict_wins.add(name)
+    missing = [t for t in STRICT_TARGETS if t not in strict_wins]
+    if len(strict_wins) < 2:
+        failures.append(
+            f"strict t_opt < t_ave wins on {sorted(strict_wins)} "
+            f"(need at least 2)"
+        )
+    if missing:
+        failures.append(
+            f"designated array-heavy targets without a strict win: {missing}"
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_arrays.json")
+    parser.add_argument("--unroll", type=int, default=4)
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless the t_opt <= t_ave "
+                             "gate holds on every program at every k")
+    args = parser.parse_args()
+
+    report = run_bench(args.unroll)
+    failures = check(report)
+    report["checks"] = {"failures": failures, "ok": not failures}
+
+    Path(args.out).write_text(json.dumps(report, indent=2, sort_keys=True))
+    print(f"report written to {args.out}")
+
+    if failures:
+        for failure in failures:
+            print(f"GATE FAIL: {failure}", file=sys.stderr)
+        return 1 if args.check else 0
+    print("array-layout gate ok: t_opt <= t_ave everywhere, strict wins on "
+          + ", ".join(sorted(
+              name for name, entries in report["programs"].items()
+              if any(float(e["t_opt"]) < float(e["t_ave"]) - 1e-9
+                     for e in entries.values())
+          )))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ def _options(args: argparse.Namespace) -> PipelineOptions:
         method=args.method,
         seed=args.seed,
         runner=args.runner,
+        array_layout=args.array_layout,
         layout=args.layout,
         delta=args.delta,
     )
@@ -85,6 +86,16 @@ def _parse_input_value(text: str) -> object:
         return float(text)
 
 
+def _maybe_plan(args: argparse.Namespace, program, storage):
+    """The array-layout optimizer's plan when ``--array-layout
+    optimize`` was given, else None."""
+    if args.array_layout != "optimize":
+        return None
+    from .core.arraylayout import optimize_arrays
+
+    return optimize_arrays(program.schedule, storage, seed=args.seed)
+
+
 def cmd_compile(args: argparse.Namespace) -> int:
     import json
 
@@ -106,6 +117,11 @@ def cmd_compile(args: argparse.Namespace) -> int:
     print(f"; storage ({args.strategy}, {args.method}): "
           f"{storage.singles} single-copy, {storage.multiples} duplicated, "
           f"{len(storage.residual_instructions)} residual conflicts")
+    plan = run.store.get_optional("array_plan")
+    if plan is not None:
+        print(f"; array layout: {len(plan.specs)} array(s) planned, "
+              f"{plan.num_moves} schedule move(s), predicted conflicts "
+              f"{plan.predicted_before:.0f} -> {plan.predicted_after:.0f}")
     if args.show_allocation:
         print(storage.allocation.grid())
     if args.trace:
@@ -126,16 +142,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         method=args.method, seed=args.seed, **_strategy_kwargs(args),
     )
     inputs = [_parse_input_value(v) for v in args.input]
+    plan = _maybe_plan(args, program, storage)
     result = simulate(
         program, storage.allocation, inputs, layout=args.layout,
-        delta=args.delta,
+        delta=args.delta, plan=plan,
     )
     for value in result.outputs:
         print(value)
     mem = result.memory
+    opt_note = (
+        f" t_opt/t_min={mem.actual_ratio:.3f}" if plan is not None else ""
+    )
     print(
         f"; cycles={result.cycles} stalls={mem.stall_time:.0f} "
-        f"t_ave/t_min={mem.ave_ratio:.3f} t_max/t_min={mem.max_ratio:.3f}",
+        f"t_ave/t_min={mem.ave_ratio:.3f} t_max/t_min={mem.max_ratio:.3f}"
+        f"{opt_note}",
         file=sys.stderr,
     )
     return 0
@@ -149,7 +170,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         method=args.method, seed=args.seed, **_strategy_kwargs(args),
     )
     result = simulate(
-        program, storage.allocation, list(spec.inputs), layout=args.layout
+        program, storage.allocation, list(spec.inputs), layout=args.layout,
+        plan=_maybe_plan(args, program, storage),
     )
     reference = spec.reference(spec.inputs) if spec.reference else None
     ok = reference is None or len(result.outputs) == len(reference)
@@ -189,6 +211,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
             constants_in_memory=args.memory_constants,
             max_atom_nodes=args.max_atom_nodes,
             runner=args.runner,
+            array_layout=args.array_layout,
         )
         for spec in specs
     ]
@@ -429,6 +452,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--max-atom-nodes", type=int, default=None,
                        help="clique-separator decomposition bound "
                             "(components above it are coloured whole)")
+        p.add_argument("--array-layout", default="fixed",
+                       choices=["fixed", "optimize"],
+                       help="'optimize' runs the compile-time array "
+                            "bank-conflict minimizer (layout search + "
+                            "dependence-legal schedule moves)")
 
     p_compile = sub.add_parser("compile", help="compile and allocate")
     p_compile.add_argument("program")

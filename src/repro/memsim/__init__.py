@@ -8,12 +8,18 @@ from .distribution import (
 )
 from .interleave import (
     LAYOUTS,
+    SPEC_KINDS,
     ArrayLayout,
     InterleavedLayout,
+    LayoutSpec,
     PerArrayLayout,
+    PlannedLayout,
     SingleModuleLayout,
     SkewedLayout,
+    UnknownArrayError,
+    digit_skew,
     make_layout,
+    validate_layout_name,
 )
 from .simulator import (
     MemoryReport,
@@ -27,12 +33,18 @@ __all__ = [
     "max_load_distribution",
     "min_possible_max_load",
     "LAYOUTS",
+    "SPEC_KINDS",
     "ArrayLayout",
     "InterleavedLayout",
+    "LayoutSpec",
     "PerArrayLayout",
+    "PlannedLayout",
     "SingleModuleLayout",
     "SkewedLayout",
+    "UnknownArrayError",
+    "digit_skew",
     "make_layout",
+    "validate_layout_name",
     "MemoryReport",
     "MemorySimulator",
     "instruction_distribution",

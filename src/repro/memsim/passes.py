@@ -17,6 +17,7 @@ from .simulator import MemorySimulator
 
 if TYPE_CHECKING:
     from ..core.allocation import Allocation
+    from ..core.arraylayout import ArrayLayoutPlan
     from ..ir.cfg import Cfg
     from ..ir.rename import RenamedProgram
     from ..liw.schedule import Schedule
@@ -32,6 +33,7 @@ def simulate_program(
     delta: float = 1.0,
     max_cycles: int = 5_000_000,
     scheduled_transfers: bool = False,
+    plan: "ArrayLayoutPlan | None" = None,
 ) -> SimulationResult:
     """Execute a compiled program under an allocation and array layout,
     collecting the paper's transfer-time statistics.
@@ -39,18 +41,28 @@ def simulate_program(
     With ``scheduled_transfers`` the duplicated values are filled by
     compile-time-scheduled Transfer operations instead of eager
     multi-module writes (see :mod:`repro.liw.transfers`).
+
+    With ``plan`` (an :class:`~repro.core.arraylayout.ArrayLayoutPlan`)
+    the schedule's recorded moves are replayed on a fresh copy and the
+    plan's per-array layouts replace ``layout`` — the measurement is
+    exact execution under the optimized configuration, not a model.
     """
     from ..liw.executor import LiwExecutor
 
     machine = schedule.machine
     arrays = sorted(cfg.arrays)
+    if plan is not None:
+        schedule = plan.apply_to(schedule)
+        layout_obj = plan.build_layout(arrays)
+    else:
+        layout_obj = make_layout(layout, arrays, machine.k)
     if scheduled_transfers:
         from ..liw.transfers import insert_transfers
 
         schedule, _ = insert_transfers(schedule, allocation)
     sim = MemorySimulator(
         allocation,
-        make_layout(layout, arrays, machine.k),
+        layout_obj,
         machine.k,
         delta=delta,
         eager_copies=not scheduled_transfers,
@@ -80,6 +92,7 @@ def _run_simulate(ctx: PassContext) -> None:
         delta=opts.delta,
         max_cycles=opts.max_cycles,
         scheduled_transfers=opts.scheduled_transfers,
+        plan=ctx.get_optional("array_plan"),  # type: ignore[arg-type]
     )
     ctx.set("simulation", result)
     ctx.count("cycles", result.cycles)

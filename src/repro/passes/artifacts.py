@@ -88,6 +88,11 @@ register_artifact(
     "storage assignment (allocation + residual conflicts)",
 )
 register_artifact(
+    "array_plan",
+    "repro.core.arraylayout:ArrayLayoutPlan",
+    "optimized per-array layouts + schedule moves (array-opt pass)",
+)
+register_artifact(
     "simulation",
     "repro.passes.artifacts:SimulationResult",
     "execution outputs + Δ-model memory report",
@@ -173,6 +178,10 @@ class PipelineOptions:
     #: deliberately NOT in any pass's config_keys — switching runners
     #: keeps every cached artifact valid.
     runner: str = "serial"
+    #: array-layout mode: 'fixed' keeps the layout the simulation was
+    #: asked for; 'optimize' runs the compile-time bank-conflict
+    #: minimizer (the ``array-opt`` pass) and simulates under its plan.
+    array_layout: str = "fixed"
     # simulation
     layout: str = "interleaved"
     delta: float = 1.0

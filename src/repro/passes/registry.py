@@ -10,14 +10,15 @@ service run:
     parse -> unroll -> sema -> lower -> simplify -> rename -> schedule
     (what :func:`repro.pipeline.compile_source` runs).
 ``COMPILE_PASSES``
-    the front end plus ``allocate`` (``python -m repro compile``).
+    the front end plus ``allocate`` and the conditional ``array-opt``
+    layout optimizer (``python -m repro compile``).
 ``FULL_PIPELINE``
     everything including ``simulate`` (``python -m repro run``).
 """
 
 from __future__ import annotations
 
-from ..core.passes import ALLOCATE
+from ..core.passes import ALLOCATE, ARRAY_OPT
 from ..ir.passes import LOWER, RENAME, SIMPLIFY, UNROLL
 from ..lang.passes import PARSE, SEMA
 from ..liw.passes import SCHEDULE
@@ -29,7 +30,7 @@ from .manager import Pass, PassManager
 FRONTEND_PASSES: tuple[Pass, ...] = (
     PARSE, UNROLL, SEMA, LOWER, SIMPLIFY, RENAME, SCHEDULE,
 )
-COMPILE_PASSES: tuple[Pass, ...] = FRONTEND_PASSES + (ALLOCATE,)
+COMPILE_PASSES: tuple[Pass, ...] = FRONTEND_PASSES + (ALLOCATE, ARRAY_OPT)
 FULL_PIPELINE: tuple[Pass, ...] = COMPILE_PASSES + (SIMULATE,)
 
 PASS_REGISTRY: dict[str, Pass] = {p.name: p for p in FULL_PIPELINE}

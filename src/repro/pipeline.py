@@ -24,6 +24,8 @@ per-pass observability or stage-level reuse use :func:`run_pipeline`.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .core.allocation import Allocation
 from .core.strategies import StorageResult, run_strategy
 from .liw.machine import MachineConfig
@@ -39,6 +41,9 @@ from .passes.delta import DeltaCache
 from .passes.events import Metrics, MetricsTracer, TeeTracer, Tracer
 from .passes.manager import Pass, PassManager, PassRunResult
 from .passes.registry import COMPILE_PASSES, FRONTEND_PASSES, FULL_PIPELINE
+
+if TYPE_CHECKING:
+    from .core.arraylayout import ArrayLayoutPlan
 
 __all__ = [
     "CompiledProgram",
@@ -201,6 +206,7 @@ def simulate(
     delta: float = 1.0,
     max_cycles: int = 5_000_000,
     scheduled_transfers: bool = False,
+    plan: "ArrayLayoutPlan | None" = None,
 ) -> SimulationResult:
     """Execute a compiled program under an allocation and array layout,
     collecting the paper's transfer-time statistics.
@@ -208,6 +214,10 @@ def simulate(
     With ``scheduled_transfers`` the duplicated values are filled by
     compile-time-scheduled Transfer operations instead of eager
     multi-module writes (see :mod:`repro.liw.transfers`).
+
+    With ``plan`` (from :func:`repro.core.arraylayout.optimize_arrays`
+    or the ``array-opt`` pass) execution runs under the optimized
+    per-array layouts with the plan's schedule moves applied.
     """
     return simulate_program(
         program.cfg,
@@ -219,4 +229,5 @@ def simulate(
         delta=delta,
         max_cycles=max_cycles,
         scheduled_transfers=scheduled_transfers,
+        plan=plan,
     )

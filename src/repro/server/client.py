@@ -202,6 +202,7 @@ class ServerClient:
         k: int | None = None,
         seed: int = 0,
         machine: dict[str, object] | None = None,
+        array_layout: str = "fixed",
         deadline_ms: float | None = None,
         include_allocation: bool = False,
     ) -> dict[str, object]:
@@ -218,6 +219,8 @@ class ServerClient:
             fields["k"] = k
         if machine is not None:
             fields["machine"] = machine
+        if array_layout != "fixed":
+            fields["array_layout"] = array_layout
         if deadline_ms is not None:
             fields["deadline_ms"] = deadline_ms
         if include_allocation:

@@ -18,7 +18,7 @@ Three operations exist:
     the same knobs as a :class:`repro.service.BatchJob` (``source``,
     ``machine``, ``strategy``, ``method``, ``unroll``,
     ``constants_in_memory``, ``k``, ``seed``, ``max_atom_nodes``,
-    ``runner``) plus a per-request
+    ``runner``, ``array_layout``) plus a per-request
     ``deadline_ms`` and ``include_allocation`` (return the full encoded
     :class:`~repro.core.strategies.StorageResult`, not just the summary).
 ``health``
@@ -60,6 +60,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from ..core.arraylayout import ARRAY_LAYOUT_MODES
 from ..core.strategies import METHODS, STRATEGIES
 from ..core.workunits import RUNNERS
 from ..liw.machine import MachineConfig
@@ -75,8 +76,10 @@ PROTOCOL_VERSION = 1
 #: fields are added/renamed so dashboards and harnesses can detect
 #: what they are talking to; 2 added ``role``/``worker_id``; 3 added
 #: the ``delta_cache`` stats block (and the ``max_atom_nodes``/
-#: ``runner`` compile-request fields).
-SCHEMA_VERSION = 3
+#: ``runner`` compile-request fields); 4 added the ``array_layout``
+#: compile-request field, the per-result ``array_opt`` summary, and the
+#: ``array_opt_compiles`` counter.
+SCHEMA_VERSION = 4
 
 OPS = ("compile", "health", "stats")
 STATUSES = ("ok", "error", "overloaded", "timeout", "shutting-down")
@@ -197,6 +200,12 @@ def parse_request(obj: dict[str, object]) -> Request:
     runner = str(obj.get("runner", "serial"))
     _require(runner in RUNNERS,
              f"unknown runner {runner!r} (valid: {list(RUNNERS)})")
+    array_layout = str(obj.get("array_layout", "fixed"))
+    _require(
+        array_layout in ARRAY_LAYOUT_MODES,
+        f"unknown array_layout {array_layout!r} "
+        f"(valid: {list(ARRAY_LAYOUT_MODES)})",
+    )
 
     deadline_ms = obj.get("deadline_ms")
     if deadline_ms is not None:
@@ -233,6 +242,7 @@ def parse_request(obj: dict[str, object]) -> Request:
         seed=seed,
         max_atom_nodes=max_atom_nodes,
         runner=runner,
+        array_layout=array_layout,
     )
     return Request(
         op="compile",

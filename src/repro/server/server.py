@@ -116,6 +116,8 @@ class ServerCounters:
     oversized_lines: int = 0
     #: compile requests that arrived via a gateway forward (`via` set)
     forwarded_in: int = 0
+    #: compile requests served with ``array_layout='optimize'``
+    array_opt_compiles: int = 0
     upgrades_attempted: int = 0
     upgrades_improved: int = 0
     upgrades_rejected: int = 0
@@ -138,6 +140,7 @@ class ServerCounters:
             "connections": self.connections,
             "oversized_lines": self.oversized_lines,
             "forwarded_in": self.forwarded_in,
+            "array_opt_compiles": self.array_opt_compiles,
             "upgrades_attempted": self.upgrades_attempted,
             "upgrades_improved": self.upgrades_improved,
             "upgrades_rejected": self.upgrades_rejected,
@@ -367,6 +370,8 @@ class WorkerCore:
             "mode": result.mode,
             "wall_time": result.wall_time,
         }
+        if result.plan is not None:
+            payload["array_opt"] = result.plan.as_dict()  # type: ignore[attr-defined]
         if request.include_allocation:
             from ..service.cache import encode_storage_result
 
@@ -427,6 +432,8 @@ class WorkerCore:
     def _absorb_metrics(self, result: JobResult) -> None:
         if result.ok and not result.cache_hit:
             self.counters.strategy_executions += 1
+        if result.plan is not None:
+            self.counters.array_opt_compiles += 1
         for stage in result.metrics.get("stages", ()):  # type: ignore[union-attr]
             name = str(stage["name"])
             self._stage_totals[name] = (

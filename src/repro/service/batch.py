@@ -81,6 +81,10 @@ class BatchJob:
     #: Pure execution policy — results are byte-identical across
     #: runners — so it is deliberately NOT part of any cache key.
     runner: str = "serial"
+    #: 'fixed' (default) or 'optimize': run the compile-time
+    #: bank-conflict minimizer after allocation.  Enters cache keys
+    #: only when 'optimize', so keys of existing corpora are unchanged.
+    array_layout: str = "fixed"
 
     def source_key(self) -> str:
         """Cheap parent-side key over the *inputs* of the job — used to
@@ -101,6 +105,8 @@ class BatchJob:
         # Only when set, so keys of existing corpora are unchanged.
         if self.max_atom_nodes is not None:
             payload["max_atom_nodes"] = self.max_atom_nodes
+        if self.array_layout != "fixed":
+            payload["array_layout"] = self.array_layout
         return hashlib.sha256(_canonical(payload)).hexdigest()
 
 
@@ -119,6 +125,8 @@ class JobResult:
     error: str | None = None
     timed_out: bool = False
     metrics: dict[str, object] = field(default_factory=dict)
+    #: ArrayLayoutPlan for array_layout='optimize' jobs (None otherwise)
+    plan: object | None = None
 
     @property
     def ok(self) -> bool:
@@ -140,6 +148,8 @@ class JobResult:
                 total_copies=self.storage.total_copies,
                 residual=len(self.storage.residual_instructions),
             )
+        if self.plan is not None:
+            out["array_opt"] = self.plan.as_dict()  # type: ignore[attr-defined]
         if self.error is not None:
             out["error"] = self.error
         if self.timed_out:
@@ -215,6 +225,8 @@ def _compile_and_key(
     knobs: dict[str, object] = {"seed": job.seed}
     if job.max_atom_nodes is not None:
         knobs["max_atom_nodes"] = job.max_atom_nodes
+    if job.array_layout != "fixed":
+        knobs["array_layout"] = job.array_layout
     key = job_key(
         program_fingerprint(program.schedule, program.renamed),
         job.machine,
@@ -256,6 +268,21 @@ def _allocate(
     return storage
 
 
+def _optimize_plan(job: BatchJob, program, storage: StorageResult,
+                   metrics: Metrics):
+    """Run the array-layout optimizer for an ``array_layout='optimize'``
+    job.  The plan is recomputed (deterministically) even on allocation
+    cache hits — it is derived state, never persisted in the cache."""
+    from ..core.arraylayout import optimize_arrays
+
+    plan = optimize_arrays(program.schedule, storage, seed=job.seed)
+    metrics.incr("array_opt_runs")
+    metrics.incr("array_moves", plan.num_moves)
+    metrics.incr("array_conflicts_predicted", round(plan.predicted_before))
+    metrics.incr("array_conflicts_after", round(plan.predicted_after))
+    return plan
+
+
 def _execute_job(
     job: BatchJob, cache_dir: str | None
 ) -> tuple[str, StorageResult, dict[str, object], bool]:
@@ -264,16 +291,24 @@ def _execute_job(
     metrics = Metrics()
     program, key = _compile_and_key(job, metrics, _WORKER_ARTIFACTS)
     cache = AllocationCache(cache_dir) if cache_dir is not None else None
+    storage = None
+    hit = False
     if cache is not None:
-        cached = cache.get(key)
-        if cached is not None:
-            metrics.incr("cache_hits")
-            return key, cached, metrics.as_dict(), True
-    storage = _allocate(job, program, metrics, _WORKER_DELTA)
-    metrics.incr("cache_misses")
-    if cache is not None:
+        storage = cache.get(key)
+        hit = storage is not None
+    if storage is None:
+        storage = _allocate(job, program, metrics, _WORKER_DELTA)
+    metrics.incr("cache_hits" if hit else "cache_misses")
+    if cache is not None and not hit:
         cache.put(key, storage)
-    return key, storage, metrics.as_dict(), False
+    mdict = metrics.as_dict()
+    if job.array_layout == "optimize":
+        # The plan rides home in the (picklable) metrics dict; the
+        # parent rebuilds the typed ArrayLayoutPlan from it.
+        plan = _optimize_plan(job, program, storage, metrics)
+        mdict = metrics.as_dict()
+        mdict["array_plan"] = plan.as_dict()
+    return key, storage, mdict, hit
 
 
 class BatchCompiler:
@@ -371,10 +406,14 @@ class BatchCompiler:
                 storage = _allocate(job, program, metrics, self.delta)
                 self.cache.put(key, storage)
             metrics.incr("cache_hits" if hit else "cache_misses")
+            plan = None
+            if job.array_layout == "optimize":
+                plan = _optimize_plan(job, program, storage, metrics)
             self._index[job.source_key()] = key
             return JobResult(
                 job, key, storage, hit, mode,
                 time.perf_counter() - t0, metrics=metrics.as_dict(),
+                plan=plan,
             )
         except Exception as exc:  # noqa: BLE001 - reported per job
             return JobResult(
@@ -384,6 +423,10 @@ class BatchCompiler:
 
     def _try_index(self, job: BatchJob) -> JobResult | None:
         """Serve a job straight from the cache via the source index."""
+        if job.array_layout == "optimize":
+            # The layout plan is derived from the compiled schedule and
+            # is not persisted; optimize jobs always at least compile.
+            return None
         key = self._index.get(job.source_key())
         if key is None:
             return None
@@ -453,9 +496,15 @@ class BatchCompiler:
                     self.cache.misses += 1
                 self.cache.put(key, storage)
                 self._index[jobs[i].source_key()] = key
+                plan = None
+                plan_dict = mdict.get("array_plan")
+                if plan_dict is not None:
+                    from ..core.arraylayout import ArrayLayoutPlan
+
+                    plan = ArrayLayoutPlan.from_dict(plan_dict)
                 results[i] = JobResult(
                     jobs[i], key, storage, worker_hit, "parallel",
-                    time.perf_counter() - t0, metrics=mdict,
+                    time.perf_counter() - t0, metrics=mdict, plan=plan,
                 )
         finally:
             executor.shutdown(wait=False, cancel_futures=True)

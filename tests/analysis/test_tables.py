@@ -88,3 +88,40 @@ def test_table2_ave_between_min_and_max_all_programs():
     for spec in all_programs()[:3]:
         cell = table2_cell(spec, 8, unroll=1)
         assert 1.0 <= cell.ave_ratio <= cell.max_ratio
+
+
+def test_table2_cell_default_has_no_opt_column():
+    spec = get_program("SORT")
+    cell = table2_cell(spec, 8, unroll=2)
+    assert cell.opt_ratio is None
+
+
+def test_table2_cell_optimized_beats_the_average():
+    """The topt/tmin column: measured execution under the optimizer's
+    plan lands between the conflict-free floor and the statistical
+    average, and the paper's own columns are untouched by the knob."""
+    spec = get_program("FFT")
+    fixed = table2_cell(spec, 8, unroll=2)
+    cell = table2_cell(spec, 8, unroll=2, array_layout="optimize")
+    assert cell.opt_ratio is not None
+    assert 1.0 - 1e-9 <= cell.opt_ratio <= cell.ave_ratio + 1e-9
+    assert (cell.ave_ratio, cell.max_ratio, cell.actual_ratio) == (
+        fixed.ave_ratio, fixed.max_ratio, fixed.actual_ratio,
+    )
+
+
+def test_table2_format_grows_opt_column_only_when_present():
+    from repro.analysis.table2 import Table2, Table2Cell, Table2Row
+
+    plain = Table2(
+        (8,), [Table2Row("FFT", {8: Table2Cell(1.5, 2.0, 1.4)})]
+    )
+    assert not plain.has_opt
+    assert "topt/tmin" not in plain.format()
+
+    opt = Table2(
+        (8,), [Table2Row("FFT", {8: Table2Cell(1.5, 2.0, 1.4, 1.2)})]
+    )
+    assert opt.has_opt
+    text = opt.format()
+    assert "topt/tmin" in text and "1.20" in text

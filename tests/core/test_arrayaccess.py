@@ -1,0 +1,154 @@
+"""Affine index recovery and co-access profiling of scheduled programs."""
+
+import pytest
+
+from repro.core.arrayaccess import (
+    LOOP_WEIGHT,
+    AffineExpr,
+    analyze_accesses,
+    block_index_exprs,
+)
+from repro.liw.machine import MachineConfig
+from repro.pipeline import compile_for_paper, compile_source
+from repro.programs import all_programs, get_program
+
+LOOP_SRC = """
+program p;
+var i, s: int; a: array[8] of int; b: array[8] of int;
+begin
+  s := 0;
+  for i := 0 to 7 do begin
+    a[i] := i;
+    b[i] := a[i] + 1;
+    s := s + b[i]
+  end;
+  write(s)
+end.
+"""
+
+
+# -- AffineExpr algebra ------------------------------------------------------
+
+
+def test_affine_constant_and_symbol():
+    c = AffineExpr.constant(5)
+    assert c.is_constant and c.const == 5 and c.signature() == ()
+    x = AffineExpr.symbol("x")
+    assert not x.is_constant and x.signature() == (("x", 1),)
+
+
+def test_affine_add_sub_scale():
+    x = AffineExpr.symbol("x")
+    y = AffineExpr.symbol("y")
+    e = x.add(y.scale(3)).add(AffineExpr.constant(2))
+    assert e.const == 2
+    assert e.signature() == (("x", 1), ("y", 3))
+    # x + 3y + 2 - (x + 3y) = 2
+    diff = e.sub(x.add(y.scale(3)))
+    assert diff.is_constant and diff.const == 2
+
+
+def test_affine_cancellation_drops_zero_terms():
+    x = AffineExpr.symbol("x")
+    z = x.sub(x)
+    assert z.is_constant and z.const == 0
+    assert str(z) == "0"
+
+
+def test_affine_signature_ignores_const():
+    x = AffineExpr.symbol("x")
+    a = x.add(AffineExpr.constant(1))
+    b = x.add(AffineExpr.constant(7))
+    assert a.signature() == b.signature()
+    assert a.const != b.const
+
+
+# -- block-level recovery ----------------------------------------------------
+
+
+def _access_exprs(program):
+    """All recovered (array-access position -> expr) maps, merged.
+
+    Recovery runs on the *renamed* CFG (``schedule.cfg``) — the one the
+    scheduler packed; the pre-rename CFG still holds ``Sym`` operands
+    the analysis deliberately refuses.
+    """
+    out = []
+    for block in program.schedule.cfg.blocks:
+        exprs = block_index_exprs(block)
+        if exprs:
+            out.append(exprs)
+    return out
+
+
+def test_unrolled_accesses_share_signature():
+    """Unrolling turns a[i] into a[i], a[i+1], ...: same symbolic part,
+    consecutive constants — the compile-time-known distance the layout
+    optimizer exploits."""
+    machine = MachineConfig(num_fus=4, num_modules=8)
+    program = compile_for_paper(LOOP_SRC, machine, unroll=4)
+    groups: dict[tuple, set[int]] = {}
+    for exprs in _access_exprs(program):
+        for expr in exprs.values():
+            if expr is not None and not expr.is_constant:
+                groups.setdefault(expr.signature(), set()).add(expr.const)
+    # at least one signature carries several distinct constant offsets
+    assert any(len(consts) >= 2 for consts in groups.values()), groups
+
+
+def test_profile_shape_and_weights():
+    machine = MachineConfig(num_fus=4, num_modules=8)
+    program = compile_source(LOOP_SRC, machine=machine)
+    profile = analyze_accesses(program.schedule)
+    assert {1, LOOP_WEIGHT} >= {bp.weight for bp in profile.blocks}
+    # the loop body (where all array traffic is) is weighted
+    heavy = [bp for bp in profile.blocks if bp.weight == LOOP_WEIGHT]
+    assert heavy
+    assert any(lp.accesses for bp in heavy for lp in bp.liws)
+
+
+def test_arrays_touched_weighted_counts():
+    machine = MachineConfig(num_fus=4, num_modules=8)
+    program = compile_source(LOOP_SRC, machine=machine)
+    profile = analyze_accesses(program.schedule)
+    touched = profile.arrays_touched()
+    assert set(touched) == {"a", "b"}
+    # every access in LOOP_SRC sits in the loop body
+    assert all(count >= LOOP_WEIGHT for count in touched.values())
+
+
+def test_affine_fraction_full_on_induction_indices():
+    machine = MachineConfig(num_fus=4, num_modules=8)
+    program = compile_for_paper(LOOP_SRC, machine, unroll=4)
+    profile = analyze_accesses(program.schedule)
+    assert profile.total_accesses > 0
+    assert profile.affine_fraction() == pytest.approx(1.0)
+
+
+def test_profile_cycles_match_schedule():
+    machine = MachineConfig(num_fus=4, num_modules=8)
+    program = compile_source(LOOP_SRC, machine=machine)
+    profile = analyze_accesses(program.schedule)
+    by_index = {bs.block_index: bs for bs in program.schedule.blocks}
+    for bp in profile.blocks:
+        bs = by_index[bp.block_index]
+        assert [lp.cycle for lp in bp.liws] == list(range(len(bs.liws)))
+
+
+@pytest.mark.parametrize("name", ["FFT", "SORT"])
+def test_registry_profiles_sane(name):
+    spec = get_program(name)
+    machine = MachineConfig(num_fus=4, num_modules=8)
+    program = compile_for_paper(spec.source, machine, unroll=2)
+    profile = analyze_accesses(program.schedule)
+    assert profile.total_accesses > 0
+    assert 0.0 <= profile.affine_fraction() <= 1.0
+    assert profile.arrays_touched()
+
+
+def test_every_registry_program_profiles_without_error():
+    machine = MachineConfig(num_fus=4, num_modules=8)
+    for spec in all_programs():
+        program = compile_for_paper(spec.source, machine, unroll=2)
+        profile = analyze_accesses(program.schedule)
+        assert profile.blocks

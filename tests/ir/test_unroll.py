@@ -63,6 +63,38 @@ def test_remainder_loops_all_trip_counts(trip):
         assert run_with_unroll(src, factor).outputs == run_plain(src).outputs
 
 
+ARRAY_SRC = """
+program g; var i, n, s: int; a: array[16] of int;
+begin
+  read(n);
+  for i := 0 to n - 1 do a[i] := i * i + 1;
+  s := 0;
+  for i := 0 to n - 1 do s := s + a[i];
+  for i := 0 to n - 1 do write(a[n - 1 - i]);
+  write(s)
+end.
+"""
+
+
+@pytest.mark.parametrize("factor", [2, 3, 4])
+@pytest.mark.parametrize("trip", [0, 1, 2, 3, 5, 7, 9, 16])
+def test_array_accesses_in_remainder_loops(factor, trip):
+    """Golden differential for array traffic under unrolling: every trip
+    count — including those that leave a remainder loop, and the empty
+    loop — reads and writes exactly the elements the plain interpreter
+    does, in the same order (the reversed-index read catches off-by-one
+    remainder bounds that a commutative sum would mask)."""
+    inputs = [trip]
+    got = run_with_unroll(ARRAY_SRC, factor, inputs)
+    tree = parse(ARRAY_SRC)
+    analyze(tree)
+    want = run_cfg(build_cfg(lower_ast(tree)), inputs)
+    golden = [(n * n + 1) for n in reversed(range(trip))]
+    golden.append(sum(n * n + 1 for n in range(trip)))
+    assert want.outputs == golden  # the interpreter matches closed form
+    assert got.outputs == golden
+
+
 def test_loop_with_break_not_unrolled():
     src = """
     program b; var i, acc: int;

@@ -26,13 +26,14 @@ def test_identical_rerun_hits_every_pass():
     cache = ArtifactCache()
     cold, _ = _run(PipelineOptions(), cache)
     assert cold.cache_hits == 0
-    # unroll is disabled at factor 1 (skip): neither hit nor miss
-    assert cold.cache_misses == len(COMPILE_PASSES) - 1
+    # unroll (factor 1) and array-opt (array_layout='fixed') are
+    # disabled (skip): neither hit nor miss
+    assert cold.cache_misses == len(COMPILE_PASSES) - 2
 
     warm, tracer = _run(PipelineOptions(), cache)
     assert warm.cache_misses == 0
-    # unroll is disabled (skip), everything else served from cache
-    assert warm.cache_hits == len(COMPILE_PASSES) - 1
+    # the disabled passes skip, everything else served from cache
+    assert warm.cache_hits == len(COMPILE_PASSES) - 2
     assert len(tracer.cache_hits()) == warm.cache_hits
     assert encode_storage_result(warm.artifact("storage")) == \
         encode_storage_result(cold.artifact("storage"))
@@ -137,3 +138,31 @@ def test_batch_compiler_reuses_front_end_across_strategies(tmp_path):
     for result in report.results[1:]:
         assert result.metrics["counters"]["pass_cache_hits"] == 6
     assert "frontend_cache" in report.as_dict()
+
+
+def test_array_opt_knob_reuses_whole_fixed_pipeline():
+    """`array_layout="optimize"` sits downstream of allocation: flipping
+    it on reuses every cached pass of a previous fixed run and executes
+    exactly the array-opt pass."""
+    cache = ArtifactCache()
+    fixed, tracer_fixed = _run(PipelineOptions(), cache)
+    assert any(
+        e.name == "array-opt" and e.status == "skip"
+        for e in tracer_fixed.events
+    )
+    assert fixed.store.get_optional("array_plan") is None
+
+    run, tracer = _run(PipelineOptions(array_layout="optimize"), cache)
+    hits = {e.name for e in tracer.events if e.status == "cache-hit"}
+    assert hits == {"parse", "sema", "lower", "simplify", "rename",
+                    "schedule", "allocate"}
+    assert run.cache_misses == 1  # only array-opt executed
+    plan = run.store.get_optional("array_plan")
+    assert plan is not None and plan.specs
+
+    # conflict counters surface on the pass's end event
+    (end,) = [e for e in tracer.events
+              if e.name == "array-opt" and e.status == "end"]
+    assert end.counts["array_conflicts_predicted"] >= \
+        end.counts["array_conflicts_after"]
+    assert end.counts["arrays_planned"] == len(plan.specs)

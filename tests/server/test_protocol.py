@@ -118,6 +118,8 @@ def test_parse_compile_full():
          "max_atom_nodes"),
         ({"op": "compile", "source": GOOD_SOURCE, "runner": "fibers"},
          "runner"),
+        ({"op": "compile", "source": GOOD_SOURCE,
+          "array_layout": "hashed"}, "array_layout"),
     ],
 )
 def test_parse_rejects_invalid_requests(obj, fragment):
@@ -141,6 +143,24 @@ def test_parse_compile_workunit_knobs():
     assert plain.job is not None
     assert plain.job.max_atom_nodes is None
     assert plain.job.runner == "serial"
+
+
+def test_parse_compile_array_layout_knob():
+    req = parse_request({
+        "op": "compile",
+        "source": GOOD_SOURCE,
+        "array_layout": "optimize",
+    })
+    assert req.job is not None
+    assert req.job.array_layout == "optimize"
+    plain = parse_request({"op": "compile", "source": GOOD_SOURCE})
+    assert plain.job is not None
+    assert plain.job.array_layout == "fixed"
+
+
+def test_schema_version_covers_array_opt_fields():
+    # v4 added the array_layout request knob + array_opt result/counter
+    assert SCHEMA_VERSION == 4
 
 
 def test_oversized_source_rejected_per_request():
@@ -252,6 +272,7 @@ STATS_KEYS = [
 ]
 
 REQUEST_COUNTER_KEYS = [
+    "array_opt_compiles",
     "cache_hits",
     "connections",
     "dedup_hits",

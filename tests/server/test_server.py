@@ -312,3 +312,30 @@ def test_compile_error_reported_per_request():
         await _shutdown(server)
 
     asyncio.run(main())
+
+
+def test_array_layout_optimize_round_trip():
+    async def main():
+        server = await _started()
+        host, port = server.address
+        async with ServerClient(host, port) as client:
+            fixed = await client.compile(SOURCE, name="plain")
+            assert fixed["status"] == "ok"
+            assert "array_opt" not in fixed["result"]
+
+            reply = await client.compile(
+                SOURCE, name="opt", array_layout="optimize"
+            )
+            assert reply["status"] == "ok", reply
+            opt = reply["result"]["array_opt"]
+            assert opt["k"] == 8
+            assert opt["specs"]
+            assert opt["predicted_after"] <= opt["predicted_before"]
+            # a distinct knob means a distinct content key
+            assert reply["result"]["key"] != fixed["result"]["key"]
+
+            stats = await client.stats()
+            assert stats["requests"]["array_opt_compiles"] == 1
+        await _shutdown(server)
+
+    asyncio.run(main())

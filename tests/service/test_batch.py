@@ -195,6 +195,88 @@ def test_workers_one_never_spawns_pool(monkeypatch):
     assert report.num_ok == 2
 
 
+# -- array-layout optimization ----------------------------------------------
+
+
+def _fft_job(array_layout="fixed", workers_machine_k=8):
+    spec = next(s for s in all_programs() if s.name == "FFT")
+    return BatchJob(
+        spec.name,
+        spec.source,
+        MachineConfig(num_fus=4, num_modules=workers_machine_k),
+        unroll=2,
+        array_layout=array_layout,
+    )
+
+
+def test_array_layout_fixed_leaves_keys_unchanged():
+    """Cache-key discipline: the knob enters source/job keys only when
+    it is actually on — default jobs keep their pre-knob digests."""
+    base = _fft_job()
+    explicit = _fft_job(array_layout="fixed")
+    opt = _fft_job(array_layout="optimize")
+    assert base.source_key() == explicit.source_key()
+    assert opt.source_key() != base.source_key()
+
+
+def test_optimize_jobs_produce_a_plan_serial_and_parallel():
+    specs = [s for s in all_programs() if s.name in ("FFT", "SORT")]
+    jobs = [
+        BatchJob(
+            s.name, s.source, MachineConfig(num_fus=4, num_modules=8),
+            unroll=2, array_layout="optimize",
+        )
+        for s in specs
+    ]
+    serial = BatchCompiler(workers=1, cache=AllocationCache()).run(jobs)
+    parallel = BatchCompiler(workers=2, cache=AllocationCache()).run(jobs)
+    for report, mode in ((serial, "serial"), (parallel, "parallel")):
+        for res in report.results:
+            assert res.ok and res.mode == mode
+            assert res.plan is not None
+            assert res.plan.k == 8
+            assert res.plan.specs
+            summary = res.summary()
+            assert summary["array_opt"]["specs"] \
+                == res.plan.as_dict()["specs"]
+    # the plan is deterministic, so both modes agree on it
+    for s_res, p_res in zip(serial.results, parallel.results):
+        assert s_res.plan.as_dict() == p_res.plan.as_dict()
+    # and the storage allocation itself is the knob-independent one
+    assert _encodings(serial) == _encodings(parallel)
+
+
+def test_fixed_jobs_carry_no_plan():
+    report = BatchCompiler(workers=1, cache=AllocationCache()).run(
+        [_fft_job()]
+    )
+    (res,) = report.results
+    assert res.ok and res.plan is None
+    assert "array_opt" not in res.summary()
+
+
+def test_optimize_storage_matches_fixed_storage():
+    """The optimizer never perturbs scalar allocation: same program
+    compiled with and without the knob yields identical storage."""
+    fixed = BatchCompiler(workers=1, cache=AllocationCache()).run(
+        [_fft_job()]
+    )
+    opt = BatchCompiler(workers=1, cache=AllocationCache()).run(
+        [_fft_job(array_layout="optimize")]
+    )
+    assert _encodings(fixed) == _encodings(opt)
+
+
+def test_optimize_second_run_hits_cache_with_plan():
+    jobs = [_fft_job(array_layout="optimize")]
+    compiler = BatchCompiler(workers=1, cache=AllocationCache())
+    compiler.run(jobs)
+    warm = compiler.run(jobs)
+    (res,) = warm.results
+    assert res.cache_hit
+    assert res.plan is not None  # recomputed, not persisted
+
+
 # -- metrics -----------------------------------------------------------------
 
 

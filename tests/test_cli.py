@@ -117,3 +117,71 @@ def test_parser_requires_command():
 
 def test_layout_choice(program_file, capsys):
     assert main(["run", program_file, "--layout", "skewed"]) == 0
+
+
+@pytest.fixture()
+def array_program_file(tmp_path):
+    path = tmp_path / "arr.p"
+    path.write_text(
+        """
+program arr;
+var i, s: int; a: array[8] of int; b: array[8] of int;
+begin
+  s := 0;
+  for i := 0 to 7 do begin
+    a[i] := i * 2;
+    b[i] := a[i] + 1;
+    s := s + b[i]
+  end;
+  write(s)
+end.
+"""
+    )
+    return str(path)
+
+
+def test_compile_array_layout_optimize(array_program_file, capsys):
+    assert main([
+        "compile", array_program_file, "--array-layout", "optimize",
+        "--unroll", "4",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "array layout:" in out
+    assert "predicted conflicts" in out
+
+
+def test_compile_array_layout_fixed_stays_silent(array_program_file, capsys):
+    assert main(["compile", array_program_file, "--unroll", "4"]) == 0
+    assert "array layout:" not in capsys.readouterr().out
+
+
+def test_run_array_layout_optimize_matches_fixed(array_program_file, capsys):
+    assert main(["run", array_program_file, "--unroll", "4"]) == 0
+    fixed = capsys.readouterr()
+    assert main([
+        "run", array_program_file, "--unroll", "4",
+        "--array-layout", "optimize",
+    ]) == 0
+    opt = capsys.readouterr()
+    assert opt.out == fixed.out  # identical program outputs
+    assert "t_opt/t_min=" in opt.err
+    assert "t_opt/t_min=" not in fixed.err
+
+
+def test_bench_array_layout_optimize(capsys):
+    assert main([
+        "bench", "TAYLOR1", "--unroll", "2", "--array-layout", "optimize",
+    ]) == 0
+    assert "match reference" in capsys.readouterr().out
+
+
+def test_batch_array_layout_optimize(tmp_path, capsys):
+    report_path = tmp_path / "batch.json"
+    assert main([
+        "batch", "TAYLOR1", "--unroll", "2",
+        "--array-layout", "optimize", "--json", str(report_path),
+    ]) == 0
+    import json
+
+    report = json.loads(report_path.read_text())
+    assert report["num_ok"] == 1

@@ -97,3 +97,17 @@ def test_total_time_includes_stalls():
     result = simulate(prog, storage.allocation)
     assert result.total_time == result.cycles + result.memory.stall_time
     assert result.total_time >= result.cycles
+
+
+def test_simulate_under_array_plan_preserves_outputs():
+    from repro.core.arraylayout import optimize_arrays
+
+    prog = compile_source(SRC, unroll=4)
+    storage = allocate_storage(prog)
+    base = simulate(prog, storage.allocation)
+    plan = optimize_arrays(prog.schedule, storage)
+    opt = simulate(prog, storage.allocation, plan=plan)
+    assert opt.outputs == base.outputs
+    assert opt.cycles == base.cycles
+    # measured under the plan: never worse than the statistical average
+    assert opt.memory.t_actual <= base.memory.t_ave + 1e-9
