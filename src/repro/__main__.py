@@ -7,13 +7,18 @@ Usage::
     python -m repro run PROGRAM.p [--input V ...]    # execute + Δ report
     python -m repro bench NAME                       # one paper benchmark
     python -m repro batch [NAME ...]                 # pooled corpus + cache
+    python -m repro run K.py --frontend python       # CPython-bytecode kernel
+    python -m repro batch --frontend python          # pykernels corpus
     python -m repro serve [--port P ...]             # online compile service
     python -m repro serve --role fabric --fabric-workers N   # sharded fabric
     python -m repro loadgen [--clients N ...]        # drive a running server
     python -m repro report                           # all tables/figures
 
-``PROGRAM.p`` is mini-language source; ``NAME`` is one of the paper's
-six benchmarks (TAYLOR1, TAYLOR2, EXACT, FFT, SORT, COLOR).
+``PROGRAM.p`` is mini-language source (or, with ``--frontend python``,
+a ``.py`` file whose entry function is named by ``--entry``); ``NAME``
+is one of the paper's six benchmarks (TAYLOR1, TAYLOR2, EXACT, FFT,
+SORT, COLOR), or with ``--frontend python`` a
+:mod:`repro.programs.pykernels` registry kernel.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from pathlib import Path
 
 from .core.strategies import run_strategy
 from .core.workunits import RUNNERS
+from .frontends import frontend_names
 from .liw.machine import MachineConfig
 from .passes.artifacts import PipelineOptions, compiled_program
 from .passes.events import CollectingTracer
@@ -52,6 +58,8 @@ def _options(args: argparse.Namespace) -> PipelineOptions:
         array_layout=args.array_layout,
         layout=args.layout,
         delta=args.delta,
+        frontend=args.frontend,
+        py_entry=args.entry,
     )
     if args.max_atom_nodes is not None:
         # In the knobs (not a dedicated field) so it feeds the allocate
@@ -76,6 +84,8 @@ def _compile(args: argparse.Namespace, source: str):
         constants_in_memory=args.memory_constants,
         simplify=args.simplify,
         rename_mode=args.rename_mode,
+        frontend=args.frontend,
+        py_entry=args.entry,
     )
 
 
@@ -190,31 +200,57 @@ def cmd_batch(args: argparse.Namespace) -> int:
     import json
 
     from .analysis.report import batch_report_json, format_batch_report
-    from .programs import all_programs
+    from .programs import all_programs, all_pykernels, get_pykernel
     from .service import AllocationCache, BatchCompiler, BatchJob
     from .service.cache import encode_storage_result
 
-    specs = (
-        [get_program(name) for name in args.names]
-        if args.names
-        else all_programs()
-    )
     machine = _machine(args)
-    jobs = [
-        BatchJob(
-            spec.name,
-            spec.source,
-            machine,
-            strategy=args.strategy,
-            method=args.method,
-            unroll=args.unroll,
-            constants_in_memory=args.memory_constants,
-            max_atom_nodes=args.max_atom_nodes,
-            runner=args.runner,
-            array_layout=args.array_layout,
+    if args.frontend == "python":
+        # The corpus is the pykernels registry: real Python functions
+        # compiled through the CPython-bytecode frontend.
+        kernels = (
+            [get_pykernel(name) for name in args.names]
+            if args.names
+            else all_pykernels()
         )
-        for spec in specs
-    ]
+        jobs = [
+            BatchJob(
+                spec.name,
+                spec.source,
+                machine,
+                strategy=args.strategy,
+                method=args.method,
+                unroll=args.unroll,
+                constants_in_memory=args.memory_constants,
+                max_atom_nodes=args.max_atom_nodes,
+                runner=args.runner,
+                array_layout=args.array_layout,
+                frontend="python",
+                entry=spec.entry,
+            )
+            for spec in kernels
+        ]
+    else:
+        specs = (
+            [get_program(name) for name in args.names]
+            if args.names
+            else all_programs()
+        )
+        jobs = [
+            BatchJob(
+                spec.name,
+                spec.source,
+                machine,
+                strategy=args.strategy,
+                method=args.method,
+                unroll=args.unroll,
+                constants_in_memory=args.memory_constants,
+                max_atom_nodes=args.max_atom_nodes,
+                runner=args.runner,
+                array_layout=args.array_layout,
+            )
+            for spec in specs
+        ]
     compiler = BatchCompiler(
         workers=args.workers,
         timeout=args.timeout,
@@ -457,6 +493,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="'optimize' runs the compile-time array "
                             "bank-conflict minimizer (layout search + "
                             "dependence-legal schedule moves)")
+        p.add_argument("--frontend", default="mini",
+                       choices=list(frontend_names()),
+                       help="source language: 'mini' (the paper's "
+                            "mini-language) or 'python' (compile a "
+                            "CPython function's bytecode)")
+        p.add_argument("--entry", default="",
+                       help="entry-function name for --frontend python "
+                            "(default: the single top-level function)")
 
     p_compile = sub.add_parser("compile", help="compile and allocate")
     p_compile.add_argument("program")
@@ -486,7 +530,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument(
         "names", nargs="*", metavar="NAME",
-        help="registry programs (default: all six)",
+        help="registry programs (default: all six; with --frontend "
+             "python, pykernels registry names, default all)",
     )
     p_batch.add_argument("--workers", "-j", type=int, default=None,
                          help="process-pool size (1 = serial)")

@@ -1,0 +1,60 @@
+"""Typed errors of the frontend layer.
+
+:class:`UnknownFrontendError` is raised by
+:func:`repro.frontends.validate_frontend_name` — the central validation
+helper every entry point (CLI, :class:`repro.service.BatchJob`, server
+protocol) funnels frontend names through, mirroring
+:func:`repro.memsim.interleave.validate_layout_name`.
+
+:class:`UnsupportedPythonError` is the
+:class:`~repro.frontends.pybytecode.PyBytecodeFrontend`'s rejection
+channel: every Python construct outside the supported numeric subset is
+refused at compile time with the offending opcode and source line, so a
+kernel author sees *what* to rewrite, not a crash deep in the pipeline.
+"""
+
+from __future__ import annotations
+
+
+class FrontendError(ValueError):
+    """Base class of every frontend-layer error."""
+
+
+class UnknownFrontendError(FrontendError):
+    """A frontend name outside the registry."""
+
+    def __init__(self, name: str, valid: tuple[str, ...]):
+        self.name = name
+        self.valid = valid
+        super().__init__(
+            f"unknown frontend {name!r} (valid: {list(valid)})"
+        )
+
+
+class UnsupportedPythonError(FrontendError):
+    """A Python construct outside the compilable numeric subset.
+
+    Carries the offending opcode and the source line it came from, so
+    the message pinpoints the statement to rewrite.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        opname: str | None = None,
+        line: int | None = None,
+        function: str | None = None,
+    ):
+        self.opname = opname
+        self.line = line
+        self.function = function
+        where = []
+        if function:
+            where.append(f"function {function!r}")
+        if line is not None:
+            where.append(f"line {line}")
+        if opname:
+            where.append(f"opcode {opname}")
+        suffix = f" ({', '.join(where)})" if where else ""
+        super().__init__(f"{message}{suffix}")

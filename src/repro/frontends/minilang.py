@@ -1,0 +1,56 @@
+"""The original mini-language, repackaged as a :class:`Frontend`.
+
+This is a *refactor in place*, not a rewrite: :meth:`passes` returns
+the existing ``PARSE``/``UNROLL``/``SEMA``/``LOWER`` pass objects from
+:mod:`repro.lang.passes` and :mod:`repro.ir.passes` verbatim.  The
+default pipeline assembled from this frontend is therefore the exact
+tuple :data:`repro.passes.registry.FRONTEND_PASSES` has always been —
+same pass identities, same config keys, same chained fingerprints —
+which the golden-equivalence suite pins byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..ir.passes import LOWER, UNROLL
+from ..lang.passes import PARSE, SEMA
+from .base import register_frontend
+
+if TYPE_CHECKING:
+    from ..ir.tac import TacProgram
+    from ..passes.artifacts import PipelineOptions
+    from ..passes.manager import Pass
+
+
+class MiniLangFrontend:
+    """Pascal-style mini-language -> TAC, via parse/unroll/sema/lower."""
+
+    name = "mini"
+    source_kind = "mini-language program text (program p; var ...; begin ...)"
+
+    def passes(self) -> "tuple[Pass, ...]":
+        return (PARSE, UNROLL, SEMA, LOWER)
+
+    def to_tac(
+        self, source: str, options: "PipelineOptions | None" = None
+    ) -> "TacProgram":
+        from ..ir.builder import lower_ast
+        from ..ir.unroll import unroll_program
+        from ..lang.parser import parse
+        from ..lang.sema import analyze
+        from ..passes.artifacts import PipelineOptions
+
+        opts = options if options is not None else PipelineOptions()
+        tree = parse(source)
+        if opts.unroll > 1:
+            tree = unroll_program(
+                tree, opts.unroll, opts.unroll_innermost_only
+            )
+        analyze(tree)
+        return lower_ast(
+            tree, opts.constants_in_memory, opts.immediate_limit
+        )
+
+
+MINI_FRONTEND = register_frontend(MiniLangFrontend())

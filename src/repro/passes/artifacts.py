@@ -160,6 +160,12 @@ class PipelineOptions:
 
     machine: "MachineConfig | None" = None
     # front end
+    #: source-language frontend ('mini' or 'python'); selects which
+    #: pass sequence takes source text to tac/cfg
+    frontend: str = "mini"
+    #: entry-function name for the python frontend ('' = the single
+    #: top-level function in the source)
+    py_entry: str = ""
     unroll: int = 1
     unroll_innermost_only: bool = False
     constants_in_memory: bool = False

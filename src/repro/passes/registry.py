@@ -14,11 +14,21 @@ service run:
     layout optimizer (``python -m repro compile``).
 ``FULL_PIPELINE``
     everything including ``simulate`` (``python -m repro run``).
+
+The constants above are the *mini-language* presets, kept byte-for-byte
+identical (same pass objects, same fingerprints) now that frontends are
+pluggable.  For other source languages use the per-frontend builders
+:func:`frontend_passes_for` / :func:`compile_passes_for` /
+:func:`full_pipeline_for`, which splice a registered
+:class:`repro.frontends.Frontend`'s source -> tac/cfg section in front
+of the shared frontend-agnostic tail (simplify/rename/schedule/...).
 """
 
 from __future__ import annotations
 
 from ..core.passes import ALLOCATE, ARRAY_OPT
+from ..frontends.base import DEFAULT_FRONTEND, get_frontend
+from ..frontends.pybytecode import PYFRONT
 from ..ir.passes import LOWER, RENAME, SIMPLIFY, UNROLL
 from ..lang.passes import PARSE, SEMA
 from ..liw.passes import SCHEDULE
@@ -33,7 +43,34 @@ FRONTEND_PASSES: tuple[Pass, ...] = (
 COMPILE_PASSES: tuple[Pass, ...] = FRONTEND_PASSES + (ALLOCATE, ARRAY_OPT)
 FULL_PIPELINE: tuple[Pass, ...] = COMPILE_PASSES + (SIMULATE,)
 
+#: The frontend-agnostic tail shared by every source language.
+MIDDLE_PASSES: tuple[Pass, ...] = (SIMPLIFY, RENAME, SCHEDULE)
+
 PASS_REGISTRY: dict[str, Pass] = {p.name: p for p in FULL_PIPELINE}
+PASS_REGISTRY[PYFRONT.name] = PYFRONT
+
+
+def frontend_passes_for(frontend: str = DEFAULT_FRONTEND) -> tuple[Pass, ...]:
+    """source -> schedule for one frontend.  For ``mini`` this is the
+    exact :data:`FRONTEND_PASSES` tuple (identical pass objects, so the
+    default path's fingerprints are unchanged)."""
+    if frontend == DEFAULT_FRONTEND:
+        return FRONTEND_PASSES
+    return get_frontend(frontend).passes() + MIDDLE_PASSES
+
+
+def compile_passes_for(frontend: str = DEFAULT_FRONTEND) -> tuple[Pass, ...]:
+    """Frontend passes plus allocation and the array-layout optimizer."""
+    if frontend == DEFAULT_FRONTEND:
+        return COMPILE_PASSES
+    return frontend_passes_for(frontend) + (ALLOCATE, ARRAY_OPT)
+
+
+def full_pipeline_for(frontend: str = DEFAULT_FRONTEND) -> tuple[Pass, ...]:
+    """Everything including simulation, for one frontend."""
+    if frontend == DEFAULT_FRONTEND:
+        return FULL_PIPELINE
+    return compile_passes_for(frontend) + (SIMULATE,)
 
 
 def get_pass(name: str) -> Pass:

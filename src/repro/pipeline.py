@@ -40,7 +40,11 @@ from .passes.cache import ArtifactCache
 from .passes.delta import DeltaCache
 from .passes.events import Metrics, MetricsTracer, TeeTracer, Tracer
 from .passes.manager import Pass, PassManager, PassRunResult
-from .passes.registry import COMPILE_PASSES, FRONTEND_PASSES, FULL_PIPELINE
+from .passes.registry import (
+    compile_passes_for,
+    frontend_passes_for,
+    full_pipeline_for,
+)
 
 if TYPE_CHECKING:
     from .core.arraylayout import ArrayLayoutPlan
@@ -102,7 +106,11 @@ def run_pipeline(
     """
     options = options if options is not None else PipelineOptions()
     if passes is None:
-        passes = FULL_PIPELINE if inputs is not None else COMPILE_PASSES
+        passes = (
+            full_pipeline_for(options.frontend)
+            if inputs is not None
+            else compile_passes_for(options.frontend)
+        )
     initial: dict[str, object] = {"source": source}
     if inputs is not None:
         initial["inputs"] = list(inputs)
@@ -129,8 +137,15 @@ def compile_source(
     metrics: Metrics | None = None,
     tracer: Tracer | None = None,
     cache: ArtifactCache | None = None,
+    frontend: str = "mini",
+    py_entry: str = "",
 ) -> CompiledProgram:
-    """Compile mini-language source down to a LIW schedule.
+    """Compile source text down to a LIW schedule.
+
+    ``frontend`` selects the source language: ``mini`` (the default —
+    the original mini-language, with pass fingerprints unchanged) or
+    ``python`` (a real Python kernel function compiled via CPython
+    bytecode; ``py_entry`` names it when the source defines several).
 
     ``unroll`` > 1 replicates eligible ``for`` bodies (see
     :mod:`repro.ir.unroll`) — the block-enlarging transformation LIW
@@ -147,6 +162,8 @@ def compile_source(
     """
     options = PipelineOptions(
         machine=machine,
+        frontend=frontend,
+        py_entry=py_entry,
         unroll=unroll,
         unroll_innermost_only=unroll_innermost_only,
         constants_in_memory=constants_in_memory,
@@ -157,7 +174,7 @@ def compile_source(
     run = run_pipeline(
         source,
         options,
-        passes=FRONTEND_PASSES,
+        passes=frontend_passes_for(frontend),
         tracer=tracer,
         metrics=metrics,
         cache=cache,

@@ -1,5 +1,27 @@
-"""The paper's six benchmark programs in the mini language."""
+"""The paper's six mini-language benchmarks plus real Python kernels.
 
+``registry`` holds the six §3 programs (mini-language);
+``pykernels`` holds the Python kernels compiled through the
+CPython-bytecode frontend (``--frontend python``).
+"""
+
+from .pykernels import (
+    PyKernelSpec,
+    all_pykernels,
+    get_pykernel,
+    native_run,
+    pykernel_names,
+)
 from .registry import ProgramSpec, all_programs, get_program, program_names
 
-__all__ = ["ProgramSpec", "all_programs", "get_program", "program_names"]
+__all__ = [
+    "ProgramSpec",
+    "PyKernelSpec",
+    "all_programs",
+    "all_pykernels",
+    "get_program",
+    "get_pykernel",
+    "native_run",
+    "program_names",
+    "pykernel_names",
+]

@@ -1,0 +1,353 @@
+"""Registry of real Python kernels for the CPython-bytecode frontend.
+
+Each :class:`PyKernelSpec` bundles Python source defining one kernel
+function, the input stream it consumes through ``read()``, and tags
+(``array`` marks kernels whose inner loops index 1-D arrays — the
+workload class the array-aware allocator targets).  The kernels are
+classic numeric loops: dot product, saxpy, polynomial evaluation (both
+power form and Horner), FIR filter, prefix sum, matrix-vector product,
+bubble/insertion sort passes, a 3-point stencil, Euclid's gcd, and a
+running maximum.
+
+:func:`native_run` executes a kernel *natively in CPython* (with
+``read``/``write`` bound to the input stream / output list) — the
+ground truth the differential suite compares the compiled pipeline
+against.  Only registry kernels are ever executed; the frontend itself
+compiles without running user code.
+
+Kernels stay inside the frontend's supported subset: no negative
+``//``/``%`` operands (TAC truncates, Python floors — they agree only
+for nonnegative values), no negative array indices, arrays declared
+with literal lists (``[0] * n`` / ``[1, 2, 3]``) before use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PyKernelSpec:
+    """One Python kernel: source, entry function, inputs, tags."""
+
+    name: str
+    source: str
+    entry: str
+    inputs: tuple[object, ...] = ()
+    description: str = ""
+    tags: tuple[str, ...] = ()
+
+    @property
+    def uses_arrays(self) -> bool:
+        return "array" in self.tags
+
+
+_REGISTRY: dict[str, PyKernelSpec] = {}
+_ORDER: list[str] = []
+
+
+def register_pykernel(spec: PyKernelSpec) -> PyKernelSpec:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate pykernel {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    _ORDER.append(spec.name)
+    return spec
+
+
+def get_pykernel(name: str) -> PyKernelSpec:
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown pykernel {name!r}; have {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_pykernels() -> list[PyKernelSpec]:
+    return [_REGISTRY[name] for name in _ORDER]
+
+
+def pykernel_names() -> list[str]:
+    return list(_ORDER)
+
+
+def native_run(spec: PyKernelSpec) -> list[object]:
+    """Execute a registry kernel natively in CPython: the differential
+    ground truth.  ``read`` pops the spec's input stream; ``write``
+    appends to the returned output list."""
+    outputs: list[object] = []
+    stream = iter(spec.inputs)
+    namespace: dict[str, object] = {
+        "read": lambda: next(stream),
+        "write": outputs.append,
+    }
+    exec(compile(spec.source, f"<{spec.name}>", "exec"), namespace)
+    entry = namespace[spec.entry]
+    assert callable(entry)
+    entry()
+    return outputs
+
+
+# --------------------------------------------------------------------------
+# The kernels
+# --------------------------------------------------------------------------
+
+register_pykernel(PyKernelSpec(
+    name="dot",
+    entry="dot",
+    description="dot product of two 8-vectors",
+    tags=("array",),
+    inputs=tuple(range(1, 9)) + tuple(range(9, 17)),
+    source='''
+def dot():
+    n = 8
+    a = [0] * 8
+    b = [0] * 8
+    for i in range(n):
+        a[i] = read()
+    for i in range(n):
+        b[i] = read()
+    s = 0
+    for i in range(n):
+        s = s + a[i] * b[i]
+    write(s)
+''',
+))
+
+register_pykernel(PyKernelSpec(
+    name="saxpy",
+    entry="saxpy",
+    description="y = a*x + y over 8 elements",
+    tags=("array",),
+    inputs=(2.5,) + tuple(float(i) for i in range(1, 9))
+    + tuple(float(i) / 2 for i in range(1, 9)),
+    source='''
+def saxpy():
+    n = 8
+    x = [0.0] * 8
+    y = [0.0] * 8
+    a = read()
+    for i in range(n):
+        x[i] = read()
+    for i in range(n):
+        y[i] = read()
+    for i in range(n):
+        y[i] = a * x[i] + y[i]
+    for i in range(n):
+        write(y[i])
+''',
+))
+
+register_pykernel(PyKernelSpec(
+    name="poly",
+    entry="poly",
+    description="polynomial evaluation, explicit power accumulation",
+    tags=("array",),
+    inputs=(1.5,),
+    source='''
+def poly():
+    c = [2.0, -3.0, 0.5, 4.0, 1.0]
+    x = read()
+    acc = 0.0
+    p = 1.0
+    for i in range(len(c)):
+        acc = acc + c[i] * p
+        p = p * x
+    write(acc)
+''',
+))
+
+register_pykernel(PyKernelSpec(
+    name="horner",
+    entry="horner",
+    description="polynomial evaluation by Horner's rule",
+    tags=("array",),
+    inputs=(1.5,),
+    source='''
+def horner():
+    c = [1.0, 4.0, 0.5, -3.0, 2.0]
+    x = read()
+    acc = 0.0
+    for i in range(len(c)):
+        acc = acc * x + c[i]
+    write(acc)
+''',
+))
+
+register_pykernel(PyKernelSpec(
+    name="fir",
+    entry="fir",
+    description="4-tap FIR filter over 12 samples",
+    tags=("array",),
+    inputs=tuple(float((7 * i) % 5 + 1) for i in range(12)),
+    source='''
+def fir():
+    h = [0.25, 0.5, 0.75, 1.0]
+    s = [0.0] * 12
+    for i in range(12):
+        s[i] = read()
+    for i in range(9):
+        acc = 0.0
+        for j in range(4):
+            acc = acc + h[j] * s[i + j]
+        write(acc)
+''',
+))
+
+register_pykernel(PyKernelSpec(
+    name="prefix",
+    entry="prefix",
+    description="in-place prefix sum of 8 elements",
+    tags=("array",),
+    inputs=tuple(range(3, 11)),
+    source='''
+def prefix():
+    n = 8
+    a = [0] * 8
+    for i in range(n):
+        a[i] = read()
+    for i in range(1, n):
+        a[i] = a[i] + a[i - 1]
+    for i in range(n):
+        write(a[i])
+''',
+))
+
+register_pykernel(PyKernelSpec(
+    name="matvec",
+    entry="matvec",
+    description="4x4 matrix-vector product, row-major flattened matrix",
+    tags=("array",),
+    inputs=tuple(range(1, 17)) + (2, 1, 3, 2),
+    source='''
+def matvec():
+    n = 4
+    m = [0] * 16
+    x = [0] * 4
+    for i in range(16):
+        m[i] = read()
+    for i in range(n):
+        x[i] = read()
+    for i in range(n):
+        acc = 0
+        for j in range(n):
+            acc = acc + m[i * n + j] * x[j]
+        write(acc)
+''',
+))
+
+register_pykernel(PyKernelSpec(
+    name="bubble",
+    entry="bubble",
+    description="bubble sort of 8 elements (full passes)",
+    tags=("array",),
+    inputs=(5, 1, 4, 2, 8, 7, 3, 6),
+    source='''
+def bubble():
+    n = 8
+    a = [0] * 8
+    for i in range(n):
+        a[i] = read()
+    for i in range(n - 1):
+        for j in range(n - 1 - i):
+            if a[j] > a[j + 1]:
+                t = a[j]
+                a[j] = a[j + 1]
+                a[j + 1] = t
+    for i in range(n):
+        write(a[i])
+''',
+))
+
+register_pykernel(PyKernelSpec(
+    name="insertion",
+    entry="insertion",
+    description="insertion sort of 8 elements (short-circuit guard)",
+    tags=("array",),
+    inputs=(9, 2, 7, 1, 8, 3, 6, 4),
+    source='''
+def insertion():
+    n = 8
+    a = [0] * 8
+    for i in range(n):
+        a[i] = read()
+    i = 1
+    while i < n:
+        key = a[i]
+        j = i - 1
+        while j >= 0 and a[j] > key:
+            a[j + 1] = a[j]
+            j = j - 1
+        a[j + 1] = key
+        i = i + 1
+    for i in range(n):
+        write(a[i])
+''',
+))
+
+register_pykernel(PyKernelSpec(
+    name="stencil",
+    entry="stencil",
+    description="3-point average stencil over 10 samples",
+    tags=("array",),
+    inputs=tuple(float((3 * i) % 7) for i in range(10)),
+    source='''
+def stencil():
+    n = 10
+    a = [0.0] * 10
+    b = [0.0] * 10
+    for i in range(n):
+        a[i] = read()
+    for i in range(1, n - 1):
+        b[i] = (a[i - 1] + a[i] + a[i + 1]) / 3.0
+    for i in range(1, n - 1):
+        write(b[i])
+''',
+))
+
+register_pykernel(PyKernelSpec(
+    name="gcd",
+    entry="gcd",
+    description="Euclid's algorithm on two positive ints",
+    tags=("scalar",),
+    inputs=(252, 105),
+    source='''
+def gcd():
+    a = read()
+    b = read()
+    while b > 0:
+        r = a % b
+        a = b
+        b = r
+    write(a)
+''',
+))
+
+register_pykernel(PyKernelSpec(
+    name="runmax",
+    entry="runmax",
+    description="running maximum and minimum of 10 inputs",
+    tags=("scalar",),
+    inputs=(4, 9, 2, 7, 7, 1, 8, 3, 5, 6),
+    source='''
+def runmax():
+    hi = read()
+    lo = hi
+    for i in range(9):
+        v = read()
+        hi = max(hi, v)
+        lo = min(lo, v)
+    write(hi)
+    write(lo)
+''',
+))
+
+
+__all__ = [
+    "PyKernelSpec",
+    "all_pykernels",
+    "get_pykernel",
+    "native_run",
+    "pykernel_names",
+    "register_pykernel",
+]

@@ -203,6 +203,8 @@ class ServerClient:
         seed: int = 0,
         machine: dict[str, object] | None = None,
         array_layout: str = "fixed",
+        frontend: str = "mini",
+        entry: str = "",
         deadline_ms: float | None = None,
         include_allocation: bool = False,
     ) -> dict[str, object]:
@@ -221,6 +223,10 @@ class ServerClient:
             fields["machine"] = machine
         if array_layout != "fixed":
             fields["array_layout"] = array_layout
+        if frontend != "mini":
+            fields["frontend"] = frontend
+            if entry:
+                fields["entry"] = entry
         if deadline_ms is not None:
             fields["deadline_ms"] = deadline_ms
         if include_allocation:

@@ -18,7 +18,8 @@ Three operations exist:
     the same knobs as a :class:`repro.service.BatchJob` (``source``,
     ``machine``, ``strategy``, ``method``, ``unroll``,
     ``constants_in_memory``, ``k``, ``seed``, ``max_atom_nodes``,
-    ``runner``, ``array_layout``) plus a per-request
+    ``runner``, ``array_layout``, ``frontend``, ``entry``) plus a
+    per-request
     ``deadline_ms`` and ``include_allocation`` (return the full encoded
     :class:`~repro.core.strategies.StorageResult`, not just the summary).
 ``health``
@@ -63,6 +64,7 @@ from dataclasses import dataclass
 from ..core.arraylayout import ARRAY_LAYOUT_MODES
 from ..core.strategies import METHODS, STRATEGIES
 from ..core.workunits import RUNNERS
+from ..frontends import UnknownFrontendError, validate_frontend_name
 from ..liw.machine import MachineConfig
 from ..service.batch import BatchJob
 
@@ -78,8 +80,9 @@ PROTOCOL_VERSION = 1
 #: the ``delta_cache`` stats block (and the ``max_atom_nodes``/
 #: ``runner`` compile-request fields); 4 added the ``array_layout``
 #: compile-request field, the per-result ``array_opt`` summary, and the
-#: ``array_opt_compiles`` counter.
-SCHEMA_VERSION = 4
+#: ``array_opt_compiles`` counter; 5 added the ``frontend``/``entry``
+#: compile-request fields (CPython-bytecode frontend).
+SCHEMA_VERSION = 5
 
 OPS = ("compile", "health", "stats")
 STATUSES = ("ok", "error", "overloaded", "timeout", "shutting-down")
@@ -206,6 +209,14 @@ def parse_request(obj: dict[str, object]) -> Request:
         f"unknown array_layout {array_layout!r} "
         f"(valid: {list(ARRAY_LAYOUT_MODES)})",
     )
+    frontend = str(obj.get("frontend", "mini"))
+    try:
+        validate_frontend_name(frontend)
+    except UnknownFrontendError as exc:
+        raise ProtocolError(str(exc)) from exc
+    entry = obj.get("entry", "")
+    _require(isinstance(entry, str), "entry must be a string")
+    assert isinstance(entry, str)
 
     deadline_ms = obj.get("deadline_ms")
     if deadline_ms is not None:
@@ -243,6 +254,8 @@ def parse_request(obj: dict[str, object]) -> Request:
         max_atom_nodes=max_atom_nodes,
         runner=runner,
         array_layout=array_layout,
+        frontend=frontend,
+        entry=entry,
     )
     return Request(
         op="compile",

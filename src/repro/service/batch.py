@@ -85,6 +85,18 @@ class BatchJob:
     #: bank-conflict minimizer after allocation.  Enters cache keys
     #: only when 'optimize', so keys of existing corpora are unchanged.
     array_layout: str = "fixed"
+    #: source-language frontend ('mini' or 'python').  Enters the
+    #: source key only when non-default, so keys of existing
+    #: mini-language corpora are unchanged.
+    frontend: str = "mini"
+    #: entry-function name for the python frontend ('' = the single
+    #: top-level function in the source).
+    entry: str = ""
+
+    def __post_init__(self) -> None:
+        from ..frontends import validate_frontend_name
+
+        validate_frontend_name(self.frontend)
 
     def source_key(self) -> str:
         """Cheap parent-side key over the *inputs* of the job — used to
@@ -107,6 +119,10 @@ class BatchJob:
             payload["max_atom_nodes"] = self.max_atom_nodes
         if self.array_layout != "fixed":
             payload["array_layout"] = self.array_layout
+        if self.frontend != "mini":
+            payload["frontend"] = self.frontend
+            if self.entry:
+                payload["entry"] = self.entry
         return hashlib.sha256(_canonical(payload)).hexdigest()
 
 
@@ -221,6 +237,8 @@ def _compile_and_key(
         constants_in_memory=job.constants_in_memory,
         metrics=metrics,
         cache=artifacts,
+        frontend=job.frontend,
+        py_entry=job.entry,
     )
     knobs: dict[str, object] = {"seed": job.seed}
     if job.max_atom_nodes is not None:

@@ -120,6 +120,9 @@ def test_parse_compile_full():
          "runner"),
         ({"op": "compile", "source": GOOD_SOURCE,
           "array_layout": "hashed"}, "array_layout"),
+        ({"op": "compile", "source": GOOD_SOURCE, "frontend": "cobol"},
+         "frontend"),
+        ({"op": "compile", "source": GOOD_SOURCE, "entry": 7}, "entry"),
     ],
 )
 def test_parse_rejects_invalid_requests(obj, fragment):
@@ -158,9 +161,25 @@ def test_parse_compile_array_layout_knob():
     assert plain.job.array_layout == "fixed"
 
 
-def test_schema_version_covers_array_opt_fields():
-    # v4 added the array_layout request knob + array_opt result/counter
-    assert SCHEMA_VERSION == 4
+def test_schema_version_covers_frontend_fields():
+    # v5 added the frontend/entry compile-request fields
+    assert SCHEMA_VERSION == 5
+
+
+def test_parse_compile_frontend_knob():
+    req = parse_request({
+        "op": "compile",
+        "source": "def f():\n    write(1)\n",
+        "frontend": "python",
+        "entry": "f",
+    })
+    assert req.job is not None
+    assert req.job.frontend == "python"
+    assert req.job.entry == "f"
+    plain = parse_request({"op": "compile", "source": GOOD_SOURCE})
+    assert plain.job is not None
+    assert plain.job.frontend == "mini"
+    assert plain.job.entry == ""
 
 
 def test_oversized_source_rejected_per_request():
